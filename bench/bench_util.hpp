@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses that regenerate the
+ * paper's tables and figures.  Each bench binary prints the paper's
+ * published values next to the measured ones so the shape comparison
+ * is immediate.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/sim/experiments.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace nvfs::bench {
+
+/** Print a standard header for a bench binary. */
+inline void
+header(const std::string &experiment, const std::string &paper_claim)
+{
+    std::printf("==============================================="
+                "=================\n");
+    std::printf("%s\n", experiment.c_str());
+    std::printf("paper: %s\n", paper_claim.c_str());
+    std::printf("(shape comparison — absolute numbers depend on the "
+                "synthetic traces)\n");
+    std::printf("==============================================="
+                "=================\n\n");
+}
+
+/** Format a percentage cell. */
+inline std::string
+pct(double value)
+{
+    return util::format("%.1f", value);
+}
+
+} // namespace nvfs::bench

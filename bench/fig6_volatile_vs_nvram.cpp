@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 6: benefits of additional memory.  Net total traffic for the
+ * volatile and unified models starting from 8 MB and from 16 MB of
+ * volatile cache, as memory is added (volatile memory for the
+ * volatile model, NVRAM for the unified model) — the input to the
+ * Section 2.7 cost-effectiveness argument.
+ */
+
+#include "bench_util.hpp"
+
+using namespace nvfs;
+
+int
+main()
+{
+    bench::header(
+        "Figure 6: benefits of additional memory (Trace 7)",
+        "on an 8 MB base, 2 MB of NVRAM ~= 4 MB of volatile memory; "
+        "on a 16 MB base, 1/2 MB of NVRAM ~= 6 MB of volatile memory");
+
+    const double scale = core::benchScale();
+    const auto &ops = core::standardOps(7, scale);
+    const double extra_mb[] = {0, 0.5, 1, 2, 4, 6, 8};
+
+    util::TextTable table({"extra MB", "volatile-8MB", "unified-8MB",
+                           "volatile-16MB", "unified-16MB"});
+    for (const double extra : extra_mb) {
+        std::vector<std::string> row = {util::format("%g", extra)};
+        for (const Bytes base : {Bytes{8 * kMiB}, Bytes{16 * kMiB}}) {
+            core::ModelConfig vol;
+            vol.kind = core::ModelKind::Volatile;
+            vol.volatileBytes =
+                base + static_cast<Bytes>(extra * kMiB);
+            row.insert(row.begin() + (base == 8 * kMiB ? 1 : 3),
+                       bench::pct(core::runClientSim(ops, vol)
+                                      .netTotalTrafficPct()));
+
+            core::ModelConfig uni;
+            uni.kind = core::ModelKind::Unified;
+            uni.volatileBytes = base;
+            uni.nvramBytes = extra == 0
+                                 ? kBlockSize
+                                 : static_cast<Bytes>(extra * kMiB);
+            row.insert(row.begin() + (base == 8 * kMiB ? 2 : 4),
+                       bench::pct(core::runClientSim(ops, uni)
+                                      .netTotalTrafficPct()));
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\n", table.render("net total traffic (%)").c_str());
+    return 0;
+}

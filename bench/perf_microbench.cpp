@@ -1,0 +1,114 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * interval-set updates, block-cache operations, policy victim
+ * selection, LFS block appends, and whole-trace simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/block_cache.hpp"
+#include "core/sim/experiments.hpp"
+#include "lfs/log.hpp"
+#include "util/interval_set.hpp"
+#include "util/rng.hpp"
+
+using namespace nvfs;
+
+namespace {
+
+void
+BM_IntervalSetInsert(benchmark::State &state)
+{
+    util::Rng rng(1);
+    for (auto _ : state) {
+        util::IntervalSet set;
+        for (int i = 0; i < state.range(0); ++i) {
+            const Bytes begin = rng.uniformInt(0, 1 << 20);
+            set.insert(begin, begin + 512);
+        }
+        benchmark::DoNotOptimize(set.totalBytes());
+    }
+}
+BENCHMARK(BM_IntervalSetInsert)->Arg(64)->Arg(1024);
+
+void
+BM_BlockCacheChurn(benchmark::State &state)
+{
+    util::Rng rng(2);
+    for (auto _ : state) {
+        cache::BlockCache cache(1024);
+        for (int i = 0; i < 8192; ++i) {
+            const cache::BlockId id{
+                static_cast<FileId>(rng.uniformInt(0, 255)),
+                static_cast<std::uint32_t>(rng.uniformInt(0, 63))};
+            if (cache.contains(id)) {
+                cache.touch(id, i);
+                continue;
+            }
+            if (cache.full()) {
+                const auto victim = cache.chooseVictim(i);
+                cache.remove(*victim);
+            }
+            cache.insert(id, i);
+        }
+        benchmark::DoNotOptimize(cache.size());
+    }
+}
+BENCHMARK(BM_BlockCacheChurn);
+
+void
+BM_PolicyVictim(benchmark::State &state)
+{
+    const auto kind = static_cast<cache::PolicyKind>(state.range(0));
+    util::Rng rng(3);
+    cache::BlockCache cache(4096, cache::makePolicy(kind, &rng));
+    for (std::uint32_t i = 0; i < 4096; ++i)
+        cache.insert({static_cast<FileId>(i), 0}, i);
+    TimeUs now = 4096;
+    for (auto _ : state) {
+        const auto victim = cache.chooseVictim(now);
+        cache.remove(*victim);
+        cache.insert(*victim, ++now);
+    }
+}
+BENCHMARK(BM_PolicyVictim)
+    ->Arg(static_cast<int>(cache::PolicyKind::Lru))
+    ->Arg(static_cast<int>(cache::PolicyKind::Random))
+    ->Arg(static_cast<int>(cache::PolicyKind::Clock));
+
+void
+BM_LfsAppend(benchmark::State &state)
+{
+    for (auto _ : state) {
+        lfs::LfsLog log;
+        for (std::uint32_t i = 0; i < 4096; ++i)
+            log.writeBlock(i % 64, i / 64, kBlockSize);
+        log.seal(lfs::SealCause::Shutdown);
+        benchmark::DoNotOptimize(log.stats().segmentsWritten);
+    }
+}
+BENCHMARK(BM_LfsAppend);
+
+void
+BM_ClientSimTrace7(benchmark::State &state)
+{
+    // Small-scale end-to-end simulation throughput (ops/second).
+    const auto &ops = core::standardOps(7, 0.05);
+    for (auto _ : state) {
+        core::ModelConfig model;
+        model.kind = core::ModelKind::Unified;
+        model.volatileBytes = 8 * kMiB;
+        model.nvramBytes = kMiB;
+        const auto metrics = core::runClientSim(ops, model);
+        benchmark::DoNotOptimize(metrics.appWriteBytes);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(ops.ops.size()));
+}
+BENCHMARK(BM_ClientSimTrace7);
+
+} // namespace
+
+BENCHMARK_MAIN();

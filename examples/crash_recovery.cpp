@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Section 4 as a runnable story: what happens to dirty client data
+ * when workstations crash.
+ *
+ * Part 1 uses the NVRAM device model directly — a client dies, the
+ * battery-backed board is pulled and plugged into another machine,
+ * and the data survives (or doesn't, when the batteries are dead).
+ *
+ * Part 2 injects crashes into a full cluster simulation and compares
+ * the three cache models: the volatile model loses dirty data, both
+ * NVRAM models recover every byte.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/sim/experiments.hpp"
+#include "nvram/device.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace nvfs;
+
+namespace {
+
+void
+part1DeviceStory()
+{
+    std::printf("--- part 1: the NVRAM board itself ---------------\n");
+    nvram::NvramDevice board({.capacity = kMiB, .batteries = 2});
+    board.put(/*tag=*/42, 300 * kKiB);
+    std::printf("client caches %s of dirty data in its NVRAM\n",
+                util::formatBytes(board.usedBytes()).c_str());
+
+    board.detach();
+    std::printf("client crashes (power lost) — board detached, "
+                "batteries hold the data\n");
+    board.failBattery();
+    std::printf("one lithium cell dies in transit; %d good battery "
+                "left, contents %s\n",
+                board.goodBatteries(),
+                board.contentsValid() ? "intact" : "LOST");
+
+    board.attach();
+    const auto recovered = board.get(42);
+    std::printf("board plugged into another workstation: recovered "
+                "%s\n",
+                recovered ? util::formatBytes(*recovered).c_str()
+                          : "nothing");
+
+    // The failure case the redundant battery exists for:
+    nvram::NvramDevice fragile({.capacity = kMiB, .batteries = 1});
+    fragile.put(7, 100 * kKiB);
+    fragile.detach();
+    fragile.failBattery();
+    std::printf("a single-battery board losing its only cell while "
+                "detached: contents %s\n\n",
+                fragile.contentsValid() ? "intact" : "LOST");
+}
+
+void
+part2ClusterStory(double scale)
+{
+    std::printf("--- part 2: crashes during a day of Trace 7 ------\n");
+    const auto &ops = core::standardOps(7, scale);
+
+    // A flaky machine room: every client crashes once an hour, with
+    // staggered phases so some crash mid-burst.  (Extreme, but the
+    // point is to catch dirty data in flight.)
+    std::vector<std::pair<TimeUs, ClientId>> crashes;
+    for (TimeUs hour = 0; hour < 24; ++hour) {
+        for (ClientId c = 0; c < 10; ++c) {
+            crashes.emplace_back(hour * kUsPerHour +
+                                     (TimeUs{c} * 6 + 1) * kUsPerMinute,
+                                 c);
+        }
+    }
+    std::sort(crashes.begin(), crashes.end());
+
+    util::TextTable table({"model", "dirty bytes LOST",
+                           "recovered via NVRAM",
+                           "net write traffic %"});
+    for (const auto kind :
+         {core::ModelKind::Volatile, core::ModelKind::WriteAside,
+          core::ModelKind::Unified}) {
+        core::ClusterConfig config;
+        config.model.kind = kind;
+        config.model.volatileBytes = 8 * kMiB;
+        config.model.nvramBytes = kMiB;
+        config.crashes = crashes;
+        core::ClusterSim sim(config, std::max<std::uint32_t>(
+                                         1, ops.clientCount));
+        const core::Metrics m = sim.run(ops);
+        table.addRow(
+            {core::modelKindName(kind),
+             util::formatBytes(m.lostDirtyBytes),
+             util::formatBytes(
+                 m.serverWrites(core::WriteCause::Recovery)),
+             util::format("%.1f", m.netWriteTrafficPct())});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("the paper's point exactly: \"for data in "
+                "non-volatile client caches to be\nconsidered as "
+                "permanent as data on disk\", a crashed client's "
+                "NVRAM must be\nrecoverable — and then nothing is "
+                "lost.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+    part1DeviceStory();
+    part2ClusterStory(scale);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Cache block identity and per-block metadata.
+ *
+ * Sprite caches are organized as four-kilobyte blocks; a block is
+ * identified by (file, block index).  The cache stores only metadata —
+ * the simulator never materializes data bytes — but tracks dirty byte
+ * ranges within each block so that byte-level absorption accounting
+ * matches the paper's.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/interval_set.hpp"
+#include "util/types.hpp"
+
+namespace nvfs::cache {
+
+/** Identity of a cache block: (file, index within file). */
+struct BlockId
+{
+    FileId file = kNoFile;
+    std::uint32_t index = 0;
+
+    auto operator<=>(const BlockId &other) const = default;
+
+    /** First byte offset this block covers. */
+    Bytes byteOffset() const { return Bytes{index} * kBlockSize; }
+};
+
+/** Hash for unordered containers. */
+struct BlockIdHash
+{
+    std::size_t
+    operator()(const BlockId &id) const
+    {
+        const std::uint64_t v =
+            (static_cast<std::uint64_t>(id.file) << 32) | id.index;
+        // splitmix-style finalizer
+        std::uint64_t z = v + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+};
+
+/** Metadata of one resident cache block. */
+struct CacheBlock
+{
+    BlockId id;
+    TimeUs lastAccess = 0; ///< read or write
+    TimeUs lastModify = kNoTime;
+    TimeUs dirtySince = kNoTime; ///< kNoTime when clean
+    /** Dirty byte ranges, offsets relative to block start. */
+    util::IntervalSet dirty;
+
+    bool isDirty() const { return dirtySince != kNoTime; }
+    Bytes dirtyBytes() const { return dirty.totalBytes(); }
+};
+
+} // namespace nvfs::cache

@@ -1,0 +1,272 @@
+#include "cache/block_cache.hpp"
+
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace nvfs::cache {
+
+BlockCache::BlockCache(std::uint64_t capacity_blocks,
+                       std::unique_ptr<ReplacementPolicy> policy)
+    : capacity_(capacity_blocks),
+      policy_(policy ? std::move(policy) : makePolicy(PolicyKind::Lru))
+{
+}
+
+bool
+BlockCache::contains(const BlockId &id) const
+{
+    return blocks_.find(id) != blocks_.end();
+}
+
+const CacheBlock *
+BlockCache::peek(const BlockId &id) const
+{
+    auto it = blocks_.find(id);
+    return it == blocks_.end() ? nullptr : &it->second.block;
+}
+
+BlockCache::Slot &
+BlockCache::slotOf(const BlockId &id, const char *what)
+{
+    auto it = blocks_.find(id);
+    if (it == blocks_.end()) {
+        util::panic(util::format("%s: block file=%u idx=%u not resident",
+                                 what, static_cast<unsigned>(id.file),
+                                 id.index));
+    }
+    return it->second;
+}
+
+CacheBlock &
+BlockCache::insert(const BlockId &id, TimeUs now)
+{
+    NVFS_REQUIRE(!full(), "insert into full cache (evict first)");
+    NVFS_REQUIRE(!contains(id), "double insert of cache block");
+    lru_.push_back(id);
+    Slot slot;
+    slot.block.id = id;
+    slot.block.lastAccess = now;
+    slot.lruPos = std::prev(lru_.end());
+    blocks_.emplace(id, std::move(slot));
+    byFile_[id.file].insert(id.index);
+    policy_->onInsert(id, now);
+    return blocks_.find(id)->second.block;
+}
+
+void
+BlockCache::touch(const BlockId &id, TimeUs now)
+{
+    Slot &slot = slotOf(id, "touch");
+    slot.block.lastAccess = now;
+    lru_.splice(lru_.end(), lru_, slot.lruPos);
+    policy_->onAccess(id, now);
+}
+
+void
+BlockCache::markDirty(const BlockId &id, Bytes begin, Bytes end,
+                      TimeUs now)
+{
+    NVFS_REQUIRE(end <= kBlockSize && begin < end,
+                 "dirty range outside block");
+    Slot &slot = slotOf(id, "markDirty");
+    CacheBlock &block = slot.block;
+    const Bytes before = block.dirtyBytes();
+    const bool was_dirty = block.isDirty();
+    block.dirty.insert(begin, end);
+    dirtyBytes_ += block.dirtyBytes() - before;
+    if (!was_dirty) {
+        block.dirtySince = now;
+        ++dirtyBlocks_;
+        dirtyOrder_.push_back(id);
+        slot.dirtyPos = std::prev(dirtyOrder_.end());
+    }
+    block.lastModify = now;
+    block.lastAccess = now;
+    lru_.splice(lru_.end(), lru_, slot.lruPos);
+    policy_->onAccess(id, now);
+}
+
+void
+BlockCache::markClean(const BlockId &id)
+{
+    Slot &slot = slotOf(id, "markClean");
+    CacheBlock &block = slot.block;
+    if (block.isDirty()) {
+        dirtyBytes_ -= block.dirtyBytes();
+        --dirtyBlocks_;
+        dirtyOrder_.erase(slot.dirtyPos);
+    }
+    block.dirty.clear();
+    block.dirtySince = kNoTime;
+}
+
+Bytes
+BlockCache::trimDirty(const BlockId &id, Bytes begin, Bytes end)
+{
+    Slot &slot = slotOf(id, "trimDirty");
+    CacheBlock &block = slot.block;
+    if (!block.isDirty())
+        return 0;
+    const Bytes before = block.dirtyBytes();
+    block.dirty.erase(begin, end);
+    const Bytes removed = before - block.dirtyBytes();
+    dirtyBytes_ -= removed;
+    if (block.dirty.empty()) {
+        block.dirtySince = kNoTime;
+        --dirtyBlocks_;
+        dirtyOrder_.erase(slot.dirtyPos);
+    }
+    return removed;
+}
+
+CacheBlock
+BlockCache::remove(const BlockId &id)
+{
+    Slot &slot = slotOf(id, "remove");
+    CacheBlock out = std::move(slot.block);
+    if (out.isDirty()) {
+        dirtyBytes_ -= out.dirtyBytes();
+        --dirtyBlocks_;
+        dirtyOrder_.erase(slot.dirtyPos);
+    }
+    lru_.erase(slot.lruPos);
+    blocks_.erase(id);
+    auto file_it = byFile_.find(id.file);
+    if (file_it != byFile_.end()) {
+        file_it->second.erase(id.index);
+        if (file_it->second.empty())
+            byFile_.erase(file_it);
+    }
+    policy_->onRemove(id);
+    return out;
+}
+
+std::optional<BlockId>
+BlockCache::chooseVictim(TimeUs now)
+{
+    return policy_->chooseVictim(now);
+}
+
+std::optional<BlockId>
+BlockCache::lruCleanBlock() const
+{
+    for (const BlockId &id : lru_) {
+        if (!blocks_.find(id)->second.block.isDirty())
+            return id;
+    }
+    return std::nullopt;
+}
+
+CacheBlock &
+BlockCache::insertOrdered(const BlockId &id, TimeUs access_time)
+{
+    NVFS_REQUIRE(!full(), "insertOrdered into full cache");
+    NVFS_REQUIRE(!contains(id), "double insert of cache block");
+    // Find the position that keeps lastAccess ascending.  Walk from
+    // whichever end is closer: demoted blocks from a small NVRAM are
+    // usually young (near the MRU end), while genuinely old blocks
+    // sit near the front.
+    auto pos = lru_.end();
+    if (!lru_.empty() &&
+        access_time >=
+            blocks_.find(lru_.back())->second.block.lastAccess) {
+        // Younger than everything: plain MRU insert.
+    } else if (!lru_.empty() &&
+               access_time <= blocks_.find(lru_.front())
+                                  ->second.block.lastAccess) {
+        pos = lru_.begin();
+    } else {
+        // Walk backwards from the MRU end.
+        pos = lru_.end();
+        while (pos != lru_.begin()) {
+            auto prev = std::prev(pos);
+            if (blocks_.find(*prev)->second.block.lastAccess <=
+                access_time) {
+                break;
+            }
+            pos = prev;
+        }
+    }
+    auto list_it = lru_.insert(pos, id);
+    Slot slot;
+    slot.block.id = id;
+    slot.block.lastAccess = access_time;
+    slot.lruPos = list_it;
+    blocks_.emplace(id, std::move(slot));
+    byFile_[id.file].insert(id.index);
+    policy_->onInsert(id, access_time);
+    return blocks_.find(id)->second.block;
+}
+
+std::optional<BlockId>
+BlockCache::lruBlock() const
+{
+    if (lru_.empty())
+        return std::nullopt;
+    return lru_.front();
+}
+
+TimeUs
+BlockCache::lruAccessTime() const
+{
+    if (lru_.empty())
+        return kNoTime;
+    auto it = blocks_.find(lru_.front());
+    return it->second.block.lastAccess;
+}
+
+std::vector<BlockId>
+BlockCache::blocksOfFile(FileId file) const
+{
+    std::vector<BlockId> out;
+    auto it = byFile_.find(file);
+    if (it == byFile_.end())
+        return out;
+    out.reserve(it->second.size());
+    for (std::uint32_t index : it->second)
+        out.push_back({file, index});
+    return out;
+}
+
+std::vector<BlockId>
+BlockCache::dirtyBlocksOfFile(FileId file) const
+{
+    std::vector<BlockId> out;
+    for (const BlockId &id : blocksOfFile(file)) {
+        if (blocks_.find(id)->second.block.isDirty())
+            out.push_back(id);
+    }
+    return out;
+}
+
+std::vector<BlockId>
+BlockCache::allDirtyBlocks() const
+{
+    return {dirtyOrder_.begin(), dirtyOrder_.end()};
+}
+
+std::vector<BlockId>
+BlockCache::dirtyOlderThan(TimeUs cutoff) const
+{
+    std::vector<BlockId> out;
+    for (const BlockId &id : dirtyOrder_) {
+        if (blocks_.find(id)->second.block.dirtySince > cutoff)
+            break; // dirtySince ascends along the list
+        out.push_back(id);
+    }
+    return out;
+}
+
+std::vector<BlockId>
+BlockCache::allBlocks() const
+{
+    std::vector<BlockId> out;
+    out.reserve(blocks_.size());
+    for (const auto &[file, indices] : byFile_) {
+        for (std::uint32_t index : indices)
+            out.push_back({file, index});
+    }
+    return out;
+}
+
+} // namespace nvfs::cache

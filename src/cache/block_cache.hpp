@@ -1,0 +1,183 @@
+/**
+ * @file
+ * A fixed-capacity block cache with pluggable replacement and an
+ * always-maintained LRU ordering.
+ *
+ * The cache only manages metadata; the *client models* decide what to
+ * do with evicted blocks (write to server, demote to another cache,
+ * drop).  Eviction is therefore split into chooseVictim() / remove():
+ * the model asks for a victim, handles its dirty data, then removes
+ * it.  An LRU ordering is maintained regardless of the configured
+ * policy because the unified model needs "the least-recently accessed
+ * block in the volatile cache" as a comparison point even when the
+ * NVRAM runs a different policy.
+ */
+
+#pragma once
+
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/block.hpp"
+#include "cache/policy.hpp"
+
+namespace nvfs::cache {
+
+/** A fixed-capacity set of CacheBlocks. */
+class BlockCache
+{
+  public:
+    /**
+     * @param capacity_blocks maximum resident blocks (0 = unbounded,
+     *        used by the infinite-cache lifetime pass)
+     * @param policy victim selection; defaults to LRU
+     */
+    explicit BlockCache(std::uint64_t capacity_blocks,
+                        std::unique_ptr<ReplacementPolicy> policy = nullptr);
+
+    BlockCache(const BlockCache &) = delete;
+    BlockCache &operator=(const BlockCache &) = delete;
+    BlockCache(BlockCache &&) = default;
+    BlockCache &operator=(BlockCache &&) = default;
+
+    /** Resident block count. */
+    std::uint64_t size() const { return blocks_.size(); }
+
+    /** Capacity in blocks (0 = unbounded). */
+    std::uint64_t capacityBlocks() const { return capacity_; }
+
+    /**
+     * Change the capacity (Sprite's dynamic cache sizing: the file
+     * cache grows and shrinks against the VM system).  Shrinking can
+     * leave the cache over-full; the owner must evict until !full().
+     */
+    void setCapacityBlocks(std::uint64_t blocks) { capacity_ = blocks; }
+
+    /** True while size() exceeds the (possibly shrunk) capacity. */
+    bool
+    overFull() const
+    {
+        return capacity_ != 0 && size() > capacity_;
+    }
+
+    /** True when a further insert would exceed capacity. */
+    bool full() const { return capacity_ != 0 && size() >= capacity_; }
+
+    /** True when the block is resident. */
+    bool contains(const BlockId &id) const;
+
+    /** Metadata of a resident block; nullptr if absent. No LRU touch. */
+    const CacheBlock *peek(const BlockId &id) const;
+
+    /**
+     * Insert a clean block.  Requires !full() and !contains(id);
+     * callers must evict first.
+     */
+    CacheBlock &insert(const BlockId &id, TimeUs now);
+
+    /** Record an access (moves toward MRU, notifies the policy). */
+    void touch(const BlockId &id, TimeUs now);
+
+    /**
+     * Mark bytes [begin, end) of the block dirty (offsets relative to
+     * the block).  Also counts as an access.
+     */
+    void markDirty(const BlockId &id, Bytes begin, Bytes end, TimeUs now);
+
+    /** Clear the dirty state (data was written back). */
+    void markClean(const BlockId &id);
+
+    /**
+     * Drop dirty state for bytes [begin, end) of the block (e.g. a
+     * truncation boundary).  Returns the dirty bytes removed; the
+     * block becomes clean if nothing dirty remains.
+     */
+    Bytes trimDirty(const BlockId &id, Bytes begin, Bytes end);
+
+    /**
+     * Remove a block and return its final metadata (so the caller can
+     * inspect dirtiness).  Panics if absent.
+     */
+    CacheBlock remove(const BlockId &id);
+
+    /** Ask the policy for a victim; nullopt when empty. */
+    std::optional<BlockId> chooseVictim(TimeUs now);
+
+    /** Least-recently-accessed resident block; nullopt when empty. */
+    std::optional<BlockId> lruBlock() const;
+
+    /**
+     * Least-recently-accessed *clean* resident block; nullopt when
+     * every resident block is dirty (or the cache is empty).  Used by
+     * the dirty-preference ablation of Sprite's real policy.
+     */
+    std::optional<BlockId> lruCleanBlock() const;
+
+    /**
+     * Insert a clean block *ordered by access time* instead of at the
+     * MRU end — used when the unified model demotes a block from the
+     * NVRAM so the volatile cache keeps true LRU semantics.
+     */
+    CacheBlock &insertOrdered(const BlockId &id, TimeUs access_time);
+
+    /** Last-access time of the LRU block (kNoTime when empty). */
+    TimeUs lruAccessTime() const;
+
+    /** All resident blocks of a file, ascending block index. */
+    std::vector<BlockId> blocksOfFile(FileId file) const;
+
+    /** All resident dirty blocks of a file. */
+    std::vector<BlockId> dirtyBlocksOfFile(FileId file) const;
+
+    /** Every resident dirty block, in order of becoming dirty. */
+    std::vector<BlockId> allDirtyBlocks() const;
+
+    /**
+     * Dirty blocks whose dirtySince <= cutoff, oldest first.  O(k) in
+     * the result size — the 30-second block cleaner's fast path.
+     */
+    std::vector<BlockId> dirtyOlderThan(TimeUs cutoff) const;
+
+    /** Every resident block. */
+    std::vector<BlockId> allBlocks() const;
+
+    /** Total dirty bytes across resident blocks. */
+    Bytes dirtyBytes() const { return dirtyBytes_; }
+
+    /** Count of resident dirty blocks. */
+    std::uint64_t dirtyBlockCount() const { return dirtyBlocks_; }
+
+    /** The policy in use. */
+    PolicyKind policyKind() const { return policy_->kind(); }
+
+  private:
+    struct Slot
+    {
+        CacheBlock block;
+        std::list<BlockId>::iterator lruPos;
+        /** Position in dirtyOrder_ (valid only while dirty). */
+        std::list<BlockId>::iterator dirtyPos;
+    };
+
+    Slot &slotOf(const BlockId &id, const char *what);
+
+    std::uint64_t capacity_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::unordered_map<BlockId, Slot, BlockIdHash> blocks_;
+    std::list<BlockId> lru_; // front = least recently used
+    /** Dirty blocks in the order they became dirty (front = oldest).
+     *  dirtySince is monotone along this list because it is only set
+     *  on the clean->dirty transition. */
+    std::list<BlockId> dirtyOrder_;
+    std::map<FileId, std::set<std::uint32_t>> byFile_;
+    Bytes dirtyBytes_ = 0;
+    std::uint64_t dirtyBlocks_ = 0;
+};
+
+} // namespace nvfs::cache

@@ -1,0 +1,261 @@
+#include "cache/policy.hpp"
+
+#include <list>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace nvfs::cache {
+
+std::string
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Lru: return "LRU";
+      case PolicyKind::Random: return "random";
+      case PolicyKind::Clock: return "clock";
+      case PolicyKind::Omniscient: return "omniscient";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Classic LRU via intrusive list + iterator map. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void
+    onInsert(const BlockId &id, TimeUs) override
+    {
+        order_.push_back(id);
+        where_[id] = std::prev(order_.end());
+    }
+
+    void
+    onAccess(const BlockId &id, TimeUs) override
+    {
+        auto it = where_.find(id);
+        NVFS_REQUIRE(it != where_.end(), "LRU access to absent block");
+        order_.splice(order_.end(), order_, it->second);
+    }
+
+    void
+    onRemove(const BlockId &id) override
+    {
+        auto it = where_.find(id);
+        NVFS_REQUIRE(it != where_.end(), "LRU remove of absent block");
+        order_.erase(it->second);
+        where_.erase(it);
+    }
+
+    std::optional<BlockId>
+    chooseVictim(TimeUs) override
+    {
+        if (order_.empty())
+            return std::nullopt;
+        return order_.front();
+    }
+
+    PolicyKind kind() const override { return PolicyKind::Lru; }
+
+  private:
+    std::list<BlockId> order_; // front = least recently used
+    std::unordered_map<BlockId, std::list<BlockId>::iterator,
+                       BlockIdHash> where_;
+};
+
+/** Uniform-random victim via swap-remove vector. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(util::Rng *rng) : rng_(rng)
+    {
+        NVFS_REQUIRE(rng_ != nullptr, "random policy needs an Rng");
+    }
+
+    void
+    onInsert(const BlockId &id, TimeUs) override
+    {
+        where_[id] = blocks_.size();
+        blocks_.push_back(id);
+    }
+
+    void onAccess(const BlockId &, TimeUs) override {}
+
+    void
+    onRemove(const BlockId &id) override
+    {
+        auto it = where_.find(id);
+        NVFS_REQUIRE(it != where_.end(), "random remove of absent block");
+        const std::size_t idx = it->second;
+        const BlockId last = blocks_.back();
+        blocks_[idx] = last;
+        where_[last] = idx;
+        blocks_.pop_back();
+        where_.erase(it);
+    }
+
+    std::optional<BlockId>
+    chooseVictim(TimeUs) override
+    {
+        if (blocks_.empty())
+            return std::nullopt;
+        return blocks_[rng_->uniformInt(0, blocks_.size() - 1)];
+    }
+
+    PolicyKind kind() const override { return PolicyKind::Random; }
+
+  private:
+    util::Rng *rng_;
+    std::vector<BlockId> blocks_;
+    std::unordered_map<BlockId, std::size_t, BlockIdHash> where_;
+};
+
+/** Second-chance clock sweep. */
+class ClockPolicy : public ReplacementPolicy
+{
+  public:
+    void
+    onInsert(const BlockId &id, TimeUs) override
+    {
+        where_[id] = frames_.size();
+        frames_.push_back({id, true});
+    }
+
+    void
+    onAccess(const BlockId &id, TimeUs) override
+    {
+        auto it = where_.find(id);
+        NVFS_REQUIRE(it != where_.end(), "clock access to absent block");
+        frames_[it->second].referenced = true;
+    }
+
+    void
+    onRemove(const BlockId &id) override
+    {
+        auto it = where_.find(id);
+        NVFS_REQUIRE(it != where_.end(), "clock remove of absent block");
+        const std::size_t idx = it->second;
+        frames_[idx] = frames_.back();
+        where_[frames_[idx].id] = idx;
+        frames_.pop_back();
+        where_.erase(it);
+        if (hand_ >= frames_.size())
+            hand_ = 0;
+    }
+
+    std::optional<BlockId>
+    chooseVictim(TimeUs) override
+    {
+        if (frames_.empty())
+            return std::nullopt;
+        // Sweep at most two full revolutions; the first clears bits.
+        for (std::size_t step = 0; step < 2 * frames_.size(); ++step) {
+            Frame &frame = frames_[hand_];
+            hand_ = (hand_ + 1) % frames_.size();
+            if (frame.referenced)
+                frame.referenced = false;
+            else
+                return frame.id;
+        }
+        // All referenced and re-referenced: fall back to the hand.
+        return frames_[hand_].id;
+    }
+
+    PolicyKind kind() const override { return PolicyKind::Clock; }
+
+  private:
+    struct Frame
+    {
+        BlockId id;
+        bool referenced;
+    };
+
+    std::vector<Frame> frames_;
+    std::unordered_map<BlockId, std::size_t, BlockIdHash> where_;
+    std::size_t hand_ = 0;
+};
+
+/**
+ * Omniscient: evict the block whose next modify time is furthest in
+ * the future (Section 2.4).  Keys are refreshed on every access so the
+ * ordering stays consistent with the oracle as time advances.
+ */
+class OmniscientPolicy : public ReplacementPolicy
+{
+  public:
+    explicit OmniscientPolicy(const NextModifyOracle *oracle)
+        : oracle_(oracle)
+    {
+        NVFS_REQUIRE(oracle_ != nullptr, "omniscient policy needs oracle");
+    }
+
+    void
+    onInsert(const BlockId &id, TimeUs now) override
+    {
+        const TimeUs key = oracle_->nextModify(id, now);
+        keys_[id] = key;
+        byKey_.insert({key, id});
+    }
+
+    void
+    onAccess(const BlockId &id, TimeUs now) override
+    {
+        auto it = keys_.find(id);
+        NVFS_REQUIRE(it != keys_.end(), "omniscient access absent block");
+        const TimeUs fresh = oracle_->nextModify(id, now);
+        if (fresh == it->second)
+            return;
+        byKey_.erase({it->second, id});
+        it->second = fresh;
+        byKey_.insert({fresh, id});
+    }
+
+    void
+    onRemove(const BlockId &id) override
+    {
+        auto it = keys_.find(id);
+        NVFS_REQUIRE(it != keys_.end(), "omniscient remove absent block");
+        byKey_.erase({it->second, id});
+        keys_.erase(it);
+    }
+
+    std::optional<BlockId>
+    chooseVictim(TimeUs) override
+    {
+        if (byKey_.empty())
+            return std::nullopt;
+        return std::prev(byKey_.end())->second; // furthest next modify
+    }
+
+    PolicyKind kind() const override { return PolicyKind::Omniscient; }
+
+  private:
+    const NextModifyOracle *oracle_;
+    std::unordered_map<BlockId, TimeUs, BlockIdHash> keys_;
+    std::set<std::pair<TimeUs, BlockId>> byKey_;
+};
+
+} // namespace
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(PolicyKind kind, util::Rng *rng,
+           const NextModifyOracle *oracle)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+        return std::make_unique<LruPolicy>();
+      case PolicyKind::Random:
+        return std::make_unique<RandomPolicy>(rng);
+      case PolicyKind::Clock:
+        return std::make_unique<ClockPolicy>();
+      case PolicyKind::Omniscient:
+        return std::make_unique<OmniscientPolicy>(oracle);
+    }
+    util::panic("unreachable policy kind");
+}
+
+} // namespace nvfs::cache

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The abstract per-client cache model and the three implementations
+ * the paper compares (Figure 1): volatile, write-aside, and unified.
+ *
+ * A model owns that client's cache memories.  It reports traffic into
+ * a shared cluster-wide Metrics object and consults a shared file-size
+ * table to clip block transfers at end-of-file (a partial application
+ * write can still cause a whole cache block to travel, which is why
+ * Table 2's columns exceed the application write total).
+ */
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "cache/block_cache.hpp"
+#include "core/client/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace nvfs::core {
+
+/** Current size of every file (maintained by the cluster sim). */
+using FileSizeMap = std::unordered_map<FileId, Bytes>;
+
+/** Which cache organization a client runs. */
+enum class ModelKind { Volatile, WriteAside, Unified };
+
+/** Printable model name. */
+std::string modelKindName(ModelKind kind);
+
+/** Configuration shared by all three models. */
+struct ModelConfig
+{
+    ModelKind kind = ModelKind::Volatile;
+    Bytes volatileBytes = 8 * kMiB;
+    Bytes nvramBytes = kMiB;   ///< ignored by the volatile model
+    cache::PolicyKind nvramPolicy = cache::PolicyKind::Lru;
+    /** Oracle for the omniscient policy (owned by the caller). */
+    const cache::NextModifyOracle *oracle = nullptr;
+    /**
+     * Volatile model: 30-second delayed write-back age and the
+     * 5-second block-cleaner period (Sprite defaults).
+     */
+    TimeUs writeBackAge = 30 * kUsPerSecond;
+    TimeUs sweepInterval = 5 * kUsPerSecond;
+    /**
+     * Ablation: give dirty blocks preference in volatile replacement
+     * (Sprite's real policy; the paper's model disables it).
+     */
+    bool dirtyPreference = false;
+
+    /** Optional observer of client->server writes (end-to-end runs). */
+    ServerWriteSink *sink = nullptr;
+
+    /**
+     * Ablation of the paper's other §2.1 simplification: real Sprite
+     * caches change size with virtual-memory pressure.  When enabled,
+     * the volatile model's capacity oscillates between
+     * dynamicMinFraction and 1.0 of volatileBytes with the given
+     * period (a deterministic per-client phase keeps runs
+     * reproducible).
+     */
+    bool dynamicSizing = false;
+    double dynamicMinFraction = 0.5;
+    TimeUs dynamicPeriod = 20 * kUsPerMinute;
+};
+
+/** One client's cache state. */
+class ClientModel
+{
+  public:
+    ClientModel(const ModelConfig &config, Metrics &metrics,
+                const FileSizeMap &sizes, util::Rng &rng);
+    virtual ~ClientModel() = default;
+
+    /** Application read of [offset, offset+length). */
+    virtual void read(FileId file, Bytes offset, Bytes length,
+                      TimeUs now) = 0;
+
+    /** Application write of [offset, offset+length). */
+    virtual void write(FileId file, Bytes offset, Bytes length,
+                       TimeUs now) = 0;
+
+    /** Application fsync of the file. */
+    virtual void fsync(FileId file, TimeUs now) = 0;
+
+    /**
+     * Flush the file's dirty data to the server with the given cause
+     * and invalidate every cached block of the file (Sprite's
+     * whole-file consistency action).
+     */
+    virtual void recall(FileId file, WriteCause cause, TimeUs now) = 0;
+
+    /**
+     * Block-level consistency extension ([21], the paper's §2.3
+     * suggestion): flush and invalidate only the dirty blocks
+     * overlapping [offset, offset+length).  Returns the bytes sent to
+     * the server.
+     */
+    virtual Bytes recallRange(FileId file, Bytes offset, Bytes length,
+                              WriteCause cause, TimeUs now) = 0;
+
+    /** The file was deleted: absorb its dirty data, drop its blocks. */
+    virtual void removeFile(FileId file, TimeUs now) = 0;
+
+    /** The file shrank to new_size: drop blocks past the new end. */
+    virtual void truncate(FileId file, Bytes new_size, TimeUs now) = 0;
+
+    /** Periodic block-cleaner tick (only the volatile model acts). */
+    virtual void tick(TimeUs /*now*/) {}
+
+    /** End of trace: flush remaining dirty data (pessimistic). */
+    virtual void finish(TimeUs now) = 0;
+
+    /** Total dirty bytes cached on this client. */
+    virtual Bytes dirtyBytes() const = 0;
+
+    /**
+     * The workstation crashed and rebooted (Section 4).  Volatile
+     * contents are lost; NVRAM contents survive.  Dirty bytes that
+     * existed only in volatile memory are counted in
+     * Metrics::lostDirtyBytes; dirty NVRAM data is recovered and
+     * flushed to the server (Recovery cause) so it becomes visible
+     * again, as the paper requires of a crashed client's NVRAM.
+     */
+    virtual void crash(TimeUs now) = 0;
+
+  protected:
+    /** Bytes a whole-block transfer of `id` moves (clipped at EOF). */
+    Bytes blockTransferBytes(const cache::BlockId &id) const;
+
+    /**
+     * Account one block write to the server: updates the metrics and
+     * notifies the configured sink.  Returns the bytes transferred.
+     */
+    Bytes serverWriteBlock(const cache::BlockId &id, WriteCause cause,
+                           TimeUs now);
+
+    /** Count dirty bytes of a block as absorbed (delete/truncate). */
+    void absorbBlock(const cache::CacheBlock &block, bool deleted);
+
+    const ModelConfig config_;
+    Metrics &metrics_;
+    const FileSizeMap &sizes_;
+    util::Rng &rng_;
+};
+
+/** Instantiate the configured model for one client. */
+std::unique_ptr<ClientModel> makeClientModel(const ModelConfig &config,
+                                             Metrics &metrics,
+                                             const FileSizeMap &sizes,
+                                             util::Rng &rng);
+
+/**
+ * Visit every 4 KB block overlapping [offset, offset+length) of a
+ * file.  The callback receives the block id and the in-block byte
+ * range [begin, end) the operation touches.
+ */
+template <typename Fn>
+void
+forEachBlock(FileId file, Bytes offset, Bytes length, Fn &&fn)
+{
+    Bytes pos = offset;
+    const Bytes end = offset + length;
+    while (pos < end) {
+        const auto index = static_cast<std::uint32_t>(pos / kBlockSize);
+        const Bytes in_begin = pos % kBlockSize;
+        const Bytes in_end =
+            std::min<Bytes>(kBlockSize, in_begin + (end - pos));
+        fn(cache::BlockId{file, index}, in_begin, in_end);
+        pos += in_end - in_begin;
+    }
+}
+
+} // namespace nvfs::core

@@ -1,0 +1,217 @@
+#include "core/client/cluster_sim.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace nvfs::core {
+
+using prep::Op;
+using prep::OpType;
+
+ClusterSim::ClusterSim(const ClusterConfig &config,
+                       std::uint32_t client_count)
+    : config_(config), rng_(config.seed)
+{
+    NVFS_REQUIRE(client_count > 0, "need at least one client");
+    clients_.reserve(client_count);
+    for (std::uint32_t i = 0; i < client_count; ++i) {
+        clients_.push_back(makeClientModel(config_.model, metrics_,
+                                           sizes_, rng_));
+    }
+}
+
+ClientModel &
+ClusterSim::client(ClientId id)
+{
+    NVFS_REQUIRE(id < clients_.size(), "bad client id");
+    return *clients_[id];
+}
+
+void
+ClusterSim::advanceClock(TimeUs now)
+{
+    while (lastSweep_ + config_.model.sweepInterval <= now) {
+        lastSweep_ += config_.model.sweepInterval;
+        for (auto &client : clients_)
+            client->tick(lastSweep_);
+    }
+}
+
+void
+ClusterSim::flushEverywhere(FileId file, TimeUs now)
+{
+    for (auto &client : clients_)
+        client->recall(file, WriteCause::Callback, now);
+}
+
+Metrics
+ClusterSim::run(const prep::OpStream &ops)
+{
+    metrics_ = Metrics{};
+    lastWriterPid_.clear();
+    dirtyOwner_.clear();
+    nextCrash_ = 0;
+    TimeUs last = 0;
+
+    for (const Op &op : ops.ops) {
+        NVFS_REQUIRE(op.time >= last, "ops out of order");
+        last = op.time;
+        advanceClock(op.time);
+
+        // Injected client crashes (Section 4 fault injection).
+        while (nextCrash_ < config_.crashes.size() &&
+               config_.crashes[nextCrash_].first <= op.time) {
+            const auto [when, victim] = config_.crashes[nextCrash_++];
+            if (victim < clients_.size()) {
+                clients_[victim]->crash(when);
+                // The recovered/lost data is no longer dirty anywhere.
+                std::erase_if(dirtyOwner_, [&](const auto &entry) {
+                    return entry.second == victim;
+                });
+            }
+        }
+
+        switch (op.type) {
+          case OpType::Open: {
+            const OpenActions actions = engine_.onOpen(
+                op.client, op.pid, op.file, op.openForWrite);
+            if (actions.recallFrom != kNoClient &&
+                actions.recallFrom < clients_.size() &&
+                !config_.blockLevelCallbacks) {
+                // Whole-file recall (Sprite's protocol).  With
+                // block-level callbacks the flush is deferred until
+                // the opener actually touches the data.
+                clients_[actions.recallFrom]->recall(
+                    op.file, WriteCause::Callback, op.time);
+                dirtyOwner_.erase(op.file);
+            }
+            if (actions.disableCaching) {
+                flushEverywhere(op.file, op.time);
+                dirtyOwner_.erase(op.file);
+            }
+            break;
+          }
+          case OpType::Close:
+            engine_.onClose(op.client, op.pid, op.file);
+            break;
+          case OpType::Read: {
+            NVFS_REQUIRE(op.client < clients_.size(), "bad client");
+            auto &size = sizes_[op.file];
+            size = std::max(size, op.offset + op.length);
+            if (engine_.cachingDisabled(op.file)) {
+                // Bypass: straight from the server.
+                metrics_.appReadBytes += op.length;
+                metrics_.serverReadBytes += op.length;
+            } else {
+                if (config_.blockLevelCallbacks) {
+                    auto it = dirtyOwner_.find(op.file);
+                    if (it != dirtyOwner_.end() &&
+                        it->second != op.client &&
+                        it->second < clients_.size()) {
+                        clients_[it->second]->recallRange(
+                            op.file, op.offset, op.length,
+                            WriteCause::Callback, op.time);
+                    }
+                }
+                clients_[op.client]->read(op.file, op.offset,
+                                          op.length, op.time);
+            }
+            break;
+          }
+          case OpType::Write: {
+            NVFS_REQUIRE(op.client < clients_.size(), "bad client");
+            auto &size = sizes_[op.file];
+            size = std::max(size, op.offset + op.length);
+            if (engine_.cachingDisabled(op.file)) {
+                // Bypass: write-through to the server.
+                metrics_.appWriteBytes += op.length;
+                metrics_.addServerWrite(WriteCause::Concurrent,
+                                        op.length);
+                if (config_.model.sink) {
+                    forEachBlock(op.file, op.offset, op.length,
+                                 [&](const cache::BlockId &id,
+                                     Bytes begin, Bytes end) {
+                                     config_.model.sink->onServerWrite(
+                                         op.time, id.file, id.index,
+                                         end - begin,
+                                         WriteCause::Concurrent);
+                                 });
+                }
+            } else {
+                if (config_.blockLevelCallbacks) {
+                    auto it = dirtyOwner_.find(op.file);
+                    if (it != dirtyOwner_.end() &&
+                        it->second != op.client &&
+                        it->second < clients_.size()) {
+                        // A new writer takes over: the old writer's
+                        // whole dirty set must reach the server first.
+                        clients_[it->second]->recall(
+                            op.file, WriteCause::Callback, op.time);
+                    }
+                }
+                clients_[op.client]->write(op.file, op.offset,
+                                           op.length, op.time);
+                engine_.onWrite(op.client, op.file);
+                lastWriterPid_[op.file] = {op.client, op.pid};
+                dirtyOwner_[op.file] = op.client;
+            }
+            break;
+          }
+          case OpType::Delete: {
+            engine_.onDelete(op.file);
+            for (auto &client : clients_)
+                client->removeFile(op.file, op.time);
+            sizes_.erase(op.file);
+            lastWriterPid_.erase(op.file);
+            dirtyOwner_.erase(op.file);
+            break;
+          }
+          case OpType::Truncate: {
+            for (auto &client : clients_)
+                client->truncate(op.file, op.length, op.time);
+            auto it = sizes_.find(op.file);
+            if (it != sizes_.end())
+                it->second = std::min(it->second, op.length);
+            break;
+          }
+          case OpType::Fsync: {
+            if (op.client < clients_.size() &&
+                !engine_.cachingDisabled(op.file)) {
+                clients_[op.client]->fsync(op.file, op.time);
+            }
+            break;
+          }
+          case OpType::Migrate: {
+            if (op.client >= clients_.size())
+                break;
+            // Flush the dirty data of every file this process last
+            // wrote; in Sprite the migrated process's files must be
+            // visible at the target host.
+            std::vector<FileId> victims;
+            for (const auto &[file, writer] : lastWriterPid_) {
+                if (writer.first == op.client &&
+                    writer.second == op.pid) {
+                    victims.push_back(file);
+                }
+            }
+            for (FileId file : victims) {
+                clients_[op.client]->recall(file, WriteCause::Migration,
+                                            op.time);
+                engine_.clearWriter(file, op.client);
+                lastWriterPid_.erase(file);
+                dirtyOwner_.erase(file);
+            }
+            break;
+          }
+          case OpType::End:
+            break;
+        }
+    }
+
+    for (auto &client : clients_)
+        client->finish(last);
+    return metrics_;
+}
+
+} // namespace nvfs::core

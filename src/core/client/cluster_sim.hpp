@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The cluster simulator: replays a processed op stream against one
+ * cache model instance per client, Sprite's consistency engine, and
+ * the 5-second block-cleaner clock.  This is the simulator behind all
+ * of Section 2's figures.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/client/client_model.hpp"
+#include "core/client/server_state.hpp"
+#include "prep/ops.hpp"
+
+namespace nvfs::core {
+
+/** Everything a client simulation run needs. */
+struct ClusterConfig
+{
+    ModelConfig model;
+    std::uint64_t seed = 42; ///< random replacement policy seed
+
+    /**
+     * Consistency-protocol extension ([21], §2.3): instead of
+     * recalling a file's whole dirty set when another client opens
+     * it, flush only the dirty blocks that client actually touches.
+     */
+    bool blockLevelCallbacks = false;
+
+    /**
+     * Fault injection (Section 4): (time, client) pairs, sorted by
+     * time.  At each point the client crashes and reboots — volatile
+     * contents are lost, NVRAM contents are recovered.
+     */
+    std::vector<std::pair<TimeUs, ClientId>> crashes;
+};
+
+/** Replays one trace. */
+class ClusterSim
+{
+  public:
+    ClusterSim(const ClusterConfig &config, std::uint32_t client_count);
+
+    /** Run to completion and return the cluster-wide metrics. */
+    Metrics run(const prep::OpStream &ops);
+
+    /** Per-client model access (tests). */
+    ClientModel &client(ClientId id);
+
+  private:
+    void advanceClock(TimeUs now);
+
+    /** Flush + invalidate `file` on every client (sharing disabled). */
+    void flushEverywhere(FileId file, TimeUs now);
+
+    ClusterConfig config_;
+    util::Rng rng_;
+    Metrics metrics_;
+    FileSizeMap sizes_;
+    ConsistencyEngine engine_;
+    std::vector<std::unique_ptr<ClientModel>> clients_;
+    /** (client, pid) that last wrote each file, for migration. */
+    std::unordered_map<FileId, std::pair<ClientId, ProcId>> lastWriterPid_;
+    /** Client holding dirty data per file (block-level callbacks). */
+    std::unordered_map<FileId, ClientId> dirtyOwner_;
+    std::size_t nextCrash_ = 0;
+    TimeUs lastSweep_ = 0;
+};
+
+} // namespace nvfs::core

@@ -1,0 +1,66 @@
+#include "core/client/metrics.hpp"
+
+#include "util/stats.hpp"
+
+namespace nvfs::core {
+
+std::string
+writeCauseName(WriteCause cause)
+{
+    switch (cause) {
+      case WriteCause::Replacement: return "replacement";
+      case WriteCause::DelayedWriteBack: return "30s write-back";
+      case WriteCause::Fsync: return "fsync";
+      case WriteCause::Callback: return "callback";
+      case WriteCause::Concurrent: return "concurrent";
+      case WriteCause::Migration: return "migration";
+      case WriteCause::EndOfTrace: return "end of trace";
+      case WriteCause::Recovery: return "crash recovery";
+      case WriteCause::Count_: break;
+    }
+    return "unknown";
+}
+
+Bytes
+Metrics::totalServerWrites() const
+{
+    Bytes total = 0;
+    for (Bytes bytes : serverWriteBytes)
+        total += bytes;
+    return total;
+}
+
+double
+Metrics::netWriteTrafficPct() const
+{
+    return util::percent(static_cast<double>(totalServerWrites()),
+                         static_cast<double>(appWriteBytes));
+}
+
+double
+Metrics::netTotalTrafficPct() const
+{
+    return util::percent(
+        static_cast<double>(totalServerWrites() + serverReadBytes),
+        static_cast<double>(appWriteBytes + appReadBytes));
+}
+
+void
+Metrics::merge(const Metrics &other)
+{
+    appWriteBytes += other.appWriteBytes;
+    appReadBytes += other.appReadBytes;
+    for (std::size_t i = 0; i < serverWriteBytes.size(); ++i)
+        serverWriteBytes[i] += other.serverWriteBytes[i];
+    serverReadBytes += other.serverReadBytes;
+    busBytes += other.busBytes;
+    nvramReadAccesses += other.nvramReadAccesses;
+    nvramWriteAccesses += other.nvramWriteAccesses;
+    cacheToNvramBytes += other.cacheToNvramBytes;
+    nvramToCacheBytes += other.nvramToCacheBytes;
+    absorbedDeletedBytes += other.absorbedDeletedBytes;
+    absorbedOverwrittenBytes += other.absorbedOverwrittenBytes;
+    lostDirtyBytes += other.lostDirtyBytes;
+}
+
+} // namespace nvfs::core

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Cluster-wide traffic accounting for the client cache simulations
+ * (Section 2).  All byte counters are summed over every client, as in
+ * the paper — the reported percentages are "net traffic": bytes that
+ * had to cross the network divided by bytes applications produced.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace nvfs::core {
+
+/** Why bytes travelled from a client cache to the server. */
+enum class WriteCause : std::uint8_t {
+    Replacement,      ///< evicted dirty block
+    DelayedWriteBack, ///< the 30-second write-back (volatile model)
+    Fsync,            ///< application fsync (volatile model)
+    Callback,         ///< consistency recall by another client's open
+    Concurrent,       ///< caching disabled (concurrent write-sharing)
+    Migration,        ///< process migration flushed its dirty data
+    EndOfTrace,       ///< bytes still dirty when the trace ended
+    Recovery,         ///< NVRAM contents flushed after a client crash
+    Count_,
+};
+
+/** Printable cause name. */
+std::string writeCauseName(WriteCause cause);
+
+/**
+ * Observer of the traffic a client simulation sends to the server,
+ * block by block.  Feeding these events into server::FileServer
+ * composes the paper's two halves end to end: client NVRAM determines
+ * what reaches the server, which determines what reaches the disk.
+ */
+class ServerWriteSink
+{
+  public:
+    virtual ~ServerWriteSink() = default;
+
+    /** A block's worth of dirty data left a client for the server. */
+    virtual void onServerWrite(TimeUs now, FileId file,
+                               std::uint32_t block, Bytes bytes,
+                               WriteCause cause) = 0;
+
+    /**
+     * An application fsync reached the server (volatile clients only;
+     * NVRAM clients absorb fsyncs locally).  In Sprite this forces a
+     * synchronous write to the server's disk.
+     */
+    virtual void onFsync(TimeUs now, FileId file)
+    {
+        (void)now;
+        (void)file;
+    }
+};
+
+/** All counters of one simulation run. */
+struct Metrics
+{
+    Bytes appWriteBytes = 0; ///< bytes applications wrote
+    Bytes appReadBytes = 0;  ///< bytes applications read
+
+    /** Client→server bytes, by cause. */
+    std::array<Bytes, static_cast<std::size_t>(WriteCause::Count_)>
+        serverWriteBytes{};
+
+    Bytes serverReadBytes = 0; ///< server→client fetches
+
+    Bytes busBytes = 0; ///< bytes written into client cache memories
+    std::uint64_t nvramReadAccesses = 0;
+    std::uint64_t nvramWriteAccesses = 0;
+    Bytes cacheToNvramBytes = 0; ///< partial-update promotions
+    Bytes nvramToCacheBytes = 0; ///< unified-model demotions
+
+    Bytes absorbedDeletedBytes = 0;     ///< dirty bytes killed by delete
+    Bytes absorbedOverwrittenBytes = 0; ///< dirty bytes overwritten
+
+    /** Dirty bytes destroyed by client crashes (volatile-only data). */
+    Bytes lostDirtyBytes = 0;
+
+    /** Add a server write. */
+    void
+    addServerWrite(WriteCause cause, Bytes bytes)
+    {
+        serverWriteBytes[static_cast<std::size_t>(cause)] += bytes;
+    }
+
+    /** Bytes for one cause. */
+    Bytes
+    serverWrites(WriteCause cause) const
+    {
+        return serverWriteBytes[static_cast<std::size_t>(cause)];
+    }
+
+    /** All client→server write bytes. */
+    Bytes totalServerWrites() const;
+
+    /** Server write bytes / application write bytes, as a percent. */
+    double netWriteTrafficPct() const;
+
+    /** (Server reads + writes) / (app reads + writes), as a percent. */
+    double netTotalTrafficPct() const;
+
+    /** Merge counters from another run (summing traces). */
+    void merge(const Metrics &other);
+};
+
+} // namespace nvfs::core

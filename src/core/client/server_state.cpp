@@ -1,0 +1,109 @@
+#include "core/client/server_state.hpp"
+
+#include "util/log.hpp"
+
+namespace nvfs::core {
+
+OpenActions
+ConsistencyEngine::onOpen(ClientId client, ProcId pid, FileId file,
+                          bool for_write)
+{
+    OpenActions actions;
+    FileState &state = files_[file];
+
+    // Recall dirty data left behind by a different last writer.
+    if (state.lastWriter != kNoClient && state.lastWriter != client) {
+        actions.recallFrom = state.lastWriter;
+        state.lastWriter = kNoClient;
+    }
+
+    state.openers[client] += 1;
+    if (for_write)
+        ++state.writeHandles;
+    openModes_[{client, pid, file}].push_back(for_write);
+
+    // Concurrent write-sharing: >= 2 clients, >= 1 writer.
+    if (!state.cachingDisabled && state.openers.size() >= 2 &&
+        state.writeHandles >= 1) {
+        state.cachingDisabled = true;
+        actions.disableCaching = true;
+    }
+    return actions;
+}
+
+void
+ConsistencyEngine::onClose(ClientId client, ProcId pid, FileId file)
+{
+    auto fit = files_.find(file);
+    if (fit == files_.end())
+        return;
+    FileState &state = fit->second;
+
+    const OpenKey key{client, pid, file};
+    auto mit = openModes_.find(key);
+    bool was_writer = false;
+    if (mit != openModes_.end() && !mit->second.empty()) {
+        was_writer = mit->second.back();
+        mit->second.pop_back();
+        if (mit->second.empty())
+            openModes_.erase(mit);
+    }
+
+    auto oit = state.openers.find(client);
+    if (oit != state.openers.end()) {
+        if (--oit->second <= 0)
+            state.openers.erase(oit);
+    }
+    if (was_writer && state.writeHandles > 0)
+        --state.writeHandles;
+
+    // Caching resumes once everyone has closed the file.
+    if (state.cachingDisabled && state.openers.empty()) {
+        state.cachingDisabled = false;
+        // Data went straight to the server while disabled.
+        state.lastWriter = kNoClient;
+    }
+}
+
+void
+ConsistencyEngine::onWrite(ClientId client, FileId file)
+{
+    FileState &state = files_[file];
+    if (!state.cachingDisabled)
+        state.lastWriter = client;
+}
+
+void
+ConsistencyEngine::clearWriter(FileId file, ClientId client)
+{
+    auto it = files_.find(file);
+    if (it != files_.end() && it->second.lastWriter == client)
+        it->second.lastWriter = kNoClient;
+}
+
+void
+ConsistencyEngine::onDelete(FileId file)
+{
+    auto it = files_.find(file);
+    if (it == files_.end())
+        return;
+    // Openers may legitimately still hold handles to a deleted file;
+    // keep the open bookkeeping, just forget the writer.
+    it->second.lastWriter = kNoClient;
+}
+
+bool
+ConsistencyEngine::cachingDisabled(FileId file) const
+{
+    auto it = files_.find(file);
+    return it != files_.end() && it->second.cachingDisabled;
+}
+
+ClientId
+ConsistencyEngine::lastWriter(FileId file) const
+{
+    auto it = files_.find(file);
+    return it == files_.end() ? kNoClient : it->second.lastWriter;
+}
+
+} // namespace nvfs::core

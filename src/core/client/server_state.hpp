@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Sprite's server-side cache-consistency state machine.
+ *
+ * The server remembers the last client to write each file.  When a
+ * different client opens the file, the server recalls any dirty data
+ * still in the last writer's cache.  When two or more clients have a
+ * file open simultaneously and at least one is writing — concurrent
+ * write-sharing — the server disables client caching on the file until
+ * every client has closed it; all I/O then bypasses the caches.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace nvfs::core {
+
+/** Sentinel: no client. */
+inline constexpr ClientId kNoClient = 0xFFFF;
+
+/** What the caller must do after reporting an open. */
+struct OpenActions
+{
+    /** Recall dirty data of the file from this client first. */
+    ClientId recallFrom = kNoClient;
+    /**
+     * Concurrent write-sharing began: every client must flush and
+     * invalidate the file, and caching stays off until the last close.
+     */
+    bool disableCaching = false;
+};
+
+/** Per-file consistency bookkeeping. */
+class ConsistencyEngine
+{
+  public:
+    /**
+     * A client opened a file.
+     * @return the actions the cluster simulator must apply
+     */
+    OpenActions onOpen(ClientId client, ProcId pid, FileId file,
+                       bool for_write);
+
+    /** A client closed a file (mode resolved from the open stack). */
+    void onClose(ClientId client, ProcId pid, FileId file);
+
+    /** A client wrote the file through its cache. */
+    void onWrite(ClientId client, FileId file);
+
+    /** The client's dirty data for the file is gone (flushed/dead). */
+    void clearWriter(FileId file, ClientId client);
+
+    /** The file was deleted. */
+    void onDelete(FileId file);
+
+    /** True while client caching is disabled for the file. */
+    bool cachingDisabled(FileId file) const;
+
+    /** Last writer of a file (kNoClient if none/flushed). */
+    ClientId lastWriter(FileId file) const;
+
+  private:
+    struct FileState
+    {
+        ClientId lastWriter = kNoClient;
+        /** Open handle counts per client. */
+        std::map<ClientId, int> openers;
+        int writeHandles = 0;
+        bool cachingDisabled = false;
+    };
+
+    struct OpenKey
+    {
+        ClientId client;
+        ProcId pid;
+        FileId file;
+
+        auto operator<=>(const OpenKey &other) const = default;
+    };
+
+    std::unordered_map<FileId, FileState> files_;
+    /** Stack of open modes per (client, pid, file) for close(). */
+    std::map<OpenKey, std::vector<bool>> openModes_;
+};
+
+} // namespace nvfs::core

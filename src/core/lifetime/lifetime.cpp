@@ -1,0 +1,167 @@
+#include "core/lifetime/lifetime.hpp"
+
+#include <unordered_map>
+
+#include "core/client/server_state.hpp"
+#include "util/interval_set.hpp"
+#include "util/log.hpp"
+
+namespace nvfs::core {
+
+using prep::Op;
+using prep::OpType;
+
+std::string
+byteFateName(ByteFate fate)
+{
+    switch (fate) {
+      case ByteFate::Overwritten: return "overwritten";
+      case ByteFate::Deleted: return "deleted";
+      case ByteFate::CalledBack: return "called back";
+      case ByteFate::Concurrent: return "concurrent write";
+      case ByteFate::Remaining: return "remaining";
+      case ByteFate::Count_: break;
+    }
+    return "unknown";
+}
+
+double
+LifetimeResult::netWriteTrafficPct(TimeUs delay) const
+{
+    if (totalWritten == 0)
+        return 0.0;
+    Bytes absorbed = 0;
+    for (const ByteRun &run : runs) {
+        if (run.fate != ByteFate::Overwritten &&
+            run.fate != ByteFate::Deleted) {
+            continue;
+        }
+        if (run.death - run.birth <= delay)
+            absorbed += run.length();
+    }
+    return 100.0 *
+           static_cast<double>(totalWritten - absorbed) /
+           static_cast<double>(totalWritten);
+}
+
+LifetimeResult
+analyzeLifetimes(const prep::OpStream &ops)
+{
+    LifetimeResult result;
+    ConsistencyEngine engine;
+
+    // Per file: live dirty byte runs tagged with their birth time.
+    std::unordered_map<FileId, util::IntervalMap<TimeUs>> dirty;
+    // For migrations: (client, pid) that last wrote each file.
+    std::unordered_map<FileId, std::pair<ClientId, ProcId>> lastWriter;
+
+    auto record = [&](FileId file, Bytes begin, Bytes end, TimeUs birth,
+                      TimeUs death, ByteFate fate) {
+        result.runs.push_back({file, begin, end, birth, death, fate});
+        result.byFate[static_cast<std::size_t>(fate)] += end - begin;
+    };
+
+    // Flush every dirty run of a file (callback / migration).
+    auto flushFile = [&](FileId file, TimeUs now) {
+        auto it = dirty.find(file);
+        if (it == dirty.end())
+            return;
+        it->second.clear([&](Bytes begin, Bytes end,
+                             const TimeUs &birth) {
+            record(file, begin, end, birth, now, ByteFate::CalledBack);
+        });
+        dirty.erase(it);
+        lastWriter.erase(file);
+    };
+
+    for (const Op &op : ops.ops) {
+        switch (op.type) {
+          case OpType::Open: {
+            const OpenActions actions = engine.onOpen(
+                op.client, op.pid, op.file, op.openForWrite);
+            if (actions.recallFrom != kNoClient)
+                flushFile(op.file, op.time);
+            if (actions.disableCaching)
+                flushFile(op.file, op.time);
+            break;
+          }
+          case OpType::Close:
+            engine.onClose(op.client, op.pid, op.file);
+            break;
+          case OpType::Write: {
+            result.totalWritten += op.length;
+            if (engine.cachingDisabled(op.file)) {
+                record(op.file, op.offset, op.offset + op.length,
+                       op.time, op.time, ByteFate::Concurrent);
+                break;
+            }
+            dirty[op.file].assign(
+                op.offset, op.offset + op.length, op.time,
+                [&](Bytes begin, Bytes end, const TimeUs &birth) {
+                    record(op.file, begin, end, birth, op.time,
+                           ByteFate::Overwritten);
+                });
+            engine.onWrite(op.client, op.file);
+            lastWriter[op.file] = {op.client, op.pid};
+            break;
+          }
+          case OpType::Delete: {
+            auto it = dirty.find(op.file);
+            if (it != dirty.end()) {
+                it->second.clear([&](Bytes begin, Bytes end,
+                                     const TimeUs &birth) {
+                    record(op.file, begin, end, birth, op.time,
+                           ByteFate::Deleted);
+                });
+                dirty.erase(it);
+            }
+            lastWriter.erase(op.file);
+            engine.onDelete(op.file);
+            break;
+          }
+          case OpType::Truncate: {
+            auto it = dirty.find(op.file);
+            if (it != dirty.end()) {
+                it->second.erase(
+                    op.length, std::numeric_limits<Bytes>::max(),
+                    [&](Bytes begin, Bytes end, const TimeUs &birth) {
+                        record(op.file, begin, end, birth, op.time,
+                               ByteFate::Deleted);
+                    });
+            }
+            break;
+          }
+          case OpType::Fsync:
+            // Absorbed: the infinite NVRAM is already permanent.
+            break;
+          case OpType::Migrate: {
+            std::vector<FileId> victims;
+            for (const auto &[file, writer] : lastWriter) {
+                if (writer.first == op.client &&
+                    writer.second == op.pid) {
+                    victims.push_back(file);
+                }
+            }
+            for (FileId file : victims)
+                flushFile(file, op.time);
+            break;
+          }
+          case OpType::Read:
+          case OpType::End:
+            break;
+        }
+    }
+
+    // End of trace: whatever is still dirty would eventually have to
+    // be written back (the paper's pessimistic accounting).
+    for (auto &[file, map] : dirty) {
+        const FileId f = file;
+        map.clear([&](Bytes begin, Bytes end, const TimeUs &birth) {
+            record(f, begin, end, birth, kTimeInfinity,
+                   ByteFate::Remaining);
+        });
+    }
+    return result;
+}
+
+} // namespace nvfs::core

@@ -1,0 +1,72 @@
+#include "core/lifetime/next_modify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/client/client_model.hpp"
+
+namespace nvfs::core {
+
+NextModifyIndex::NextModifyIndex(const prep::OpStream &ops)
+{
+    // Blocks currently existing per file, so Delete/Truncate can be
+    // fanned out to the affected blocks.
+    std::map<FileId, std::set<std::uint32_t>> live;
+
+    for (const prep::Op &op : ops.ops) {
+        switch (op.type) {
+          case prep::OpType::Write:
+            forEachBlock(op.file, op.offset, op.length,
+                         [&](const cache::BlockId &id, Bytes, Bytes) {
+                             times_[id].push_back(op.time);
+                             live[op.file].insert(id.index);
+                         });
+            break;
+          case prep::OpType::Delete: {
+            auto it = live.find(op.file);
+            if (it == live.end())
+                break;
+            for (std::uint32_t index : it->second)
+                times_[{op.file, index}].push_back(op.time);
+            live.erase(it);
+            break;
+          }
+          case prep::OpType::Truncate: {
+            auto it = live.find(op.file);
+            if (it == live.end())
+                break;
+            const auto first_dead = static_cast<std::uint32_t>(
+                blocksCovering(op.length));
+            auto bit = it->second.lower_bound(first_dead);
+            while (bit != it->second.end()) {
+                times_[{op.file, *bit}].push_back(op.time);
+                bit = it->second.erase(bit);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    // Ops are time-sorted, so each vector is already sorted; fix any
+    // inversions cheaply to stay robust to unsorted input.
+    for (auto &[id, vec] : times_) {
+        if (!std::is_sorted(vec.begin(), vec.end()))
+            std::sort(vec.begin(), vec.end());
+    }
+}
+
+TimeUs
+NextModifyIndex::nextModify(const cache::BlockId &id, TimeUs after) const
+{
+    auto it = times_.find(id);
+    if (it == times_.end())
+        return kTimeInfinity;
+    const auto &vec = it->second;
+    auto pos = std::upper_bound(vec.begin(), vec.end(), after);
+    return pos == vec.end() ? kTimeInfinity : *pos;
+}
+
+} // namespace nvfs::core

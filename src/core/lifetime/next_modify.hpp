@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The omniscient policy's oracle: for every 4 KB block, the sorted
+ * list of times at which the trace *modifies* it — overwrites,
+ * deletes, or truncates it away.  The paper built this from the
+ * byte-death log of the infinite-cache pass ("the omniscient policy
+ * simulator used this information to choose the block with the next
+ * modify time furthest in the future"); deletions must count, because
+ * a block whose file is about to be deleted is precisely the block
+ * worth keeping in the NVRAM.
+ */
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "prep/ops.hpp"
+
+namespace nvfs::core {
+
+/** Per-block modify-time index implementing the policy oracle. */
+class NextModifyIndex : public cache::NextModifyOracle
+{
+  public:
+    /** Build from a processed trace. */
+    explicit NextModifyIndex(const prep::OpStream &ops);
+
+    /** Next write to `id` strictly after `after`; infinity if none. */
+    TimeUs nextModify(const cache::BlockId &id,
+                      TimeUs after) const override;
+
+    /** Number of indexed blocks. */
+    std::size_t blockCount() const { return times_.size(); }
+
+  private:
+    std::unordered_map<cache::BlockId, std::vector<TimeUs>,
+                       cache::BlockIdHash> times_;
+};
+
+} // namespace nvfs::core

@@ -1,0 +1,213 @@
+#include "core/sim/experiments.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "prep/converter.hpp"
+#include "trace/validate.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+#include "workload/server_workload.hpp"
+
+namespace nvfs::core {
+
+namespace {
+
+using TraceKey = std::tuple<int, double, bool>;
+
+std::map<TraceKey, std::unique_ptr<prep::OpStream>> &
+traceCache()
+{
+    static std::map<TraceKey, std::unique_ptr<prep::OpStream>> cache;
+    return cache;
+}
+
+std::map<std::pair<int, double>, std::unique_ptr<LifetimeResult>> &
+lifetimeCache()
+{
+    static std::map<std::pair<int, double>,
+                    std::unique_ptr<LifetimeResult>> cache;
+    return cache;
+}
+
+std::map<std::pair<int, double>, std::unique_ptr<NextModifyIndex>> &
+oracleCache()
+{
+    static std::map<std::pair<int, double>,
+                    std::unique_ptr<NextModifyIndex>> cache;
+    return cache;
+}
+
+} // namespace
+
+const prep::OpStream &
+standardOps(int paper_number, double scale, bool sprite_compat)
+{
+    const TraceKey key{paper_number, scale, sprite_compat};
+    auto &cache = traceCache();
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return *it->second;
+
+    trace::TraceBuffer buffer = workload::generateStandardTrace(
+        paper_number, scale, sprite_compat);
+    const auto report = trace::validateTrace(buffer);
+    if (!report.ok()) {
+        util::panic(util::format(
+            "generated trace %d failed validation: %zu issues, "
+            "first: %s",
+            paper_number, report.issues.size(),
+            report.issues.front().message.c_str()));
+    }
+    auto ops = std::make_unique<prep::OpStream>(
+        prep::convertTrace(buffer));
+    const auto &ref = *ops;
+    cache.emplace(key, std::move(ops));
+    return ref;
+}
+
+prep::OpStream
+opsWithSeed(int paper_number, double scale, std::uint64_t seed)
+{
+    const workload::TraceProfile profile =
+        workload::standardProfile(paper_number, scale);
+    workload::GeneratorOptions options;
+    options.seed = seed;
+    workload::ClientTraceGenerator generator(profile, options);
+    return prep::convertTrace(generator.generate());
+}
+
+const LifetimeResult &
+standardLifetimes(int paper_number, double scale)
+{
+    const std::pair<int, double> key{paper_number, scale};
+    auto &cache = lifetimeCache();
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return *it->second;
+    auto result = std::make_unique<LifetimeResult>(
+        analyzeLifetimes(standardOps(paper_number, scale)));
+    const auto &ref = *result;
+    cache.emplace(key, std::move(result));
+    return ref;
+}
+
+const NextModifyIndex &
+standardOracle(int paper_number, double scale)
+{
+    const std::pair<int, double> key{paper_number, scale};
+    auto &cache = oracleCache();
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return *it->second;
+    auto index = std::make_unique<NextModifyIndex>(
+        standardOps(paper_number, scale));
+    const auto &ref = *index;
+    cache.emplace(key, std::move(index));
+    return ref;
+}
+
+Metrics
+runClientSim(const prep::OpStream &ops, const ModelConfig &model,
+             std::uint64_t seed)
+{
+    ClusterConfig config;
+    config.model = model;
+    config.seed = seed;
+    ClusterSim sim(config, std::max<std::uint32_t>(1, ops.clientCount));
+    return sim.run(ops);
+}
+
+ServerRunResult
+runServerSim(TimeUs duration, double scale, Bytes nvram_buffer_bytes,
+             std::uint64_t seed)
+{
+    const auto profiles = workload::standardFsProfiles(scale);
+    const auto ops = workload::generateServerOps(profiles, duration,
+                                                 seed);
+    std::vector<std::string> names;
+    names.reserve(profiles.size());
+    for (const auto &profile : profiles)
+        names.push_back(profile.name);
+
+    server::ServerConfig config;
+    config.nvramBufferBytes = nvram_buffer_bytes;
+    server::FileServer fs(names, config);
+    fs.run(ops);
+
+    ServerRunResult result;
+    for (FsId i = 0; i < names.size(); ++i)
+        result.fs.push_back(fs.stats(i));
+    result.totalDiskWrites = fs.totalDiskWrites();
+    result.totalDataBytes = fs.totalDataBytes();
+    return result;
+}
+
+namespace {
+
+/** Collects the client sims' server-bound traffic as ServerOps. */
+class OpCollector : public ServerWriteSink
+{
+  public:
+    void
+    onServerWrite(TimeUs now, FileId file, std::uint32_t block,
+                  Bytes bytes, WriteCause) override
+    {
+        ops_.push_back({now, 0, file,
+                        Bytes{block} * kBlockSize, bytes,
+                        workload::ServerOp::Kind::Write});
+    }
+
+    void
+    onFsync(TimeUs now, FileId file) override
+    {
+        ops_.push_back({now, 0, file, 0, 0,
+                        workload::ServerOp::Kind::Fsync});
+    }
+
+    std::vector<workload::ServerOp> take() { return std::move(ops_); }
+
+  private:
+    std::vector<workload::ServerOp> ops_;
+};
+
+} // namespace
+
+EndToEndResult
+runEndToEnd(const prep::OpStream &ops, const ModelConfig &model,
+            Bytes server_buffer_bytes, std::uint64_t seed)
+{
+    OpCollector collector;
+    ClusterConfig cluster;
+    cluster.model = model;
+    cluster.model.sink = &collector;
+    cluster.seed = seed;
+    ClusterSim sim(cluster, std::max<std::uint32_t>(
+                                1, ops.clientCount));
+
+    EndToEndResult result;
+    result.client = sim.run(ops);
+
+    server::ServerConfig config;
+    config.nvramBufferBytes = server_buffer_bytes;
+    server::FileServer fs({"/users"}, config);
+    fs.run(collector.take());
+    result.server = fs.stats(0);
+    return result;
+}
+
+double
+benchScale()
+{
+    if (const char *env = std::getenv("NVFS_SCALE")) {
+        const double scale = std::atof(env);
+        if (scale > 0.0)
+            return scale;
+    }
+    return 1.0;
+}
+
+} // namespace nvfs::core

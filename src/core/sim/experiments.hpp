@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Experiment drivers shared by the benchmark harnesses, examples, and
+ * integration tests: generate a standard trace, preprocess it, run the
+ * lifetime pass or a cluster simulation, and run the server-side LFS
+ * study.  Generated traces are memoized per (trace, scale, dialect) so
+ * parameter sweeps don't regenerate them.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/client/cluster_sim.hpp"
+#include "core/lifetime/lifetime.hpp"
+#include "core/lifetime/next_modify.hpp"
+#include "prep/ops.hpp"
+#include "server/file_server.hpp"
+
+namespace nvfs::core {
+
+/**
+ * Processed ops of paper trace `paper_number` (1..8).  Memoized; the
+ * reference stays valid for the process lifetime.
+ * @param sprite_compat exercise the offset-deduction pipeline
+ */
+const prep::OpStream &standardOps(int paper_number, double scale = 1.0,
+                                  bool sprite_compat = false);
+
+/**
+ * Non-memoized variant with an explicit generator seed, for
+ * sensitivity studies across trace realizations.
+ */
+prep::OpStream opsWithSeed(int paper_number, double scale,
+                           std::uint64_t seed);
+
+/** Memoized lifetime analysis of a standard trace. */
+const LifetimeResult &standardLifetimes(int paper_number,
+                                        double scale = 1.0);
+
+/** Memoized next-modify oracle of a standard trace. */
+const NextModifyIndex &standardOracle(int paper_number,
+                                      double scale = 1.0);
+
+/** Run a client cluster simulation over an op stream. */
+Metrics runClientSim(const prep::OpStream &ops, const ModelConfig &model,
+                     std::uint64_t seed = 42);
+
+/** Result of one server-side run. */
+struct ServerRunResult
+{
+    std::vector<server::FsStats> fs;
+    std::uint64_t totalDiskWrites = 0;
+    Bytes totalDataBytes = 0;
+};
+
+/**
+ * Run the Section 3 server study over the standard file-system
+ * profiles.
+ * @param nvram_buffer_bytes 0 = baseline (no write buffer)
+ */
+ServerRunResult runServerSim(TimeUs duration, double scale,
+                             Bytes nvram_buffer_bytes,
+                             std::uint64_t seed = 7);
+
+/** Default scale for benches; override with NVFS_SCALE env var. */
+double benchScale();
+
+/** Result of composing both halves of the paper. */
+struct EndToEndResult
+{
+    Metrics client;        ///< cluster-wide client metrics
+    server::FsStats server; ///< the one file system behind the clients
+};
+
+/**
+ * End-to-end run: the client simulation's server-bound write stream
+ * (via ServerWriteSink) is replayed against the LFS file server, so
+ * client-side NVRAM choices propagate into server disk accesses.
+ * @param server_buffer_bytes the server's own NVRAM write buffer
+ */
+EndToEndResult runEndToEnd(const prep::OpStream &ops,
+                           const ModelConfig &model,
+                           Bytes server_buffer_bytes = 0,
+                           std::uint64_t seed = 42);
+
+} // namespace nvfs::core

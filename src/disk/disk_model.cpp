@@ -1,0 +1,79 @@
+#include "disk/disk_model.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace nvfs::disk {
+
+DiskModel::DiskModel(const DiskParams &params) : params_(params)
+{
+    NVFS_REQUIRE(params_.rpm > 0.0 && params_.transferMBps > 0.0,
+                 "disk parameters must be positive");
+}
+
+double
+DiskModel::avgRotationMs() const
+{
+    return 0.5 * 60000.0 / params_.rpm;
+}
+
+double
+DiskModel::transferMs(Bytes length) const
+{
+    return static_cast<double>(length) /
+           (params_.transferMBps * 1024.0 * 1024.0) * 1000.0;
+}
+
+double
+DiskModel::seekMs(std::uint32_t from, std::uint32_t to) const
+{
+    if (from == to)
+        return 0.0;
+    const double distance =
+        std::abs(static_cast<double>(from) - static_cast<double>(to));
+    const double frac =
+        std::sqrt(distance / static_cast<double>(params_.cylinders));
+    // sqrt law: min seek for 1 cylinder, ~avg seek at 1/3 stroke.
+    const double scaled = params_.minSeekMs +
+        (params_.avgSeekMs - params_.minSeekMs) * frac /
+            std::sqrt(1.0 / 3.0);
+    return scaled;
+}
+
+ServiceTime
+DiskModel::serviceSequence(const std::vector<DiskRequest> &requests,
+                           std::uint32_t start) const
+{
+    ServiceTime total;
+    std::uint32_t head = start;
+    for (const DiskRequest &request : requests) {
+        total.seekMs += seekMs(head, request.cylinder);
+        total.rotationMs += avgRotationMs();
+        total.transferMs += transferMs(request.length);
+        head = request.cylinder;
+    }
+    return total;
+}
+
+ServiceTime
+DiskModel::serviceRandom(Bytes length) const
+{
+    ServiceTime t;
+    t.seekMs = params_.avgSeekMs;
+    t.rotationMs = avgRotationMs();
+    t.transferMs = transferMs(length);
+    return t;
+}
+
+ServiceTime
+DiskModel::serviceSequential(Bytes length) const
+{
+    ServiceTime t;
+    t.seekMs = params_.minSeekMs;
+    t.rotationMs = avgRotationMs();
+    t.transferMs = transferMs(length);
+    return t;
+}
+
+} // namespace nvfs::disk

@@ -1,0 +1,95 @@
+#include "disk/queue_sim.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace nvfs::disk {
+
+namespace {
+
+struct Arrival
+{
+    double timeMs;
+    bool isRead;
+};
+
+} // namespace
+
+QueueSimResult
+simulateDiskQueue(const QueueSimParams &params)
+{
+    NVFS_REQUIRE(params.writeBytes > 0, "write size must be positive");
+    const DiskModel model(params.disk);
+    util::Rng rng(params.seed);
+
+    // Pre-generate the Poisson arrival streams.
+    const double horizon_ms = params.durationSeconds * 1000.0;
+    std::vector<Arrival> arrivals;
+    const double read_gap_ms = 1000.0 / params.readsPerSecond;
+    for (double t = rng.exponential(read_gap_ms); t < horizon_ms;
+         t += rng.exponential(read_gap_ms)) {
+        arrivals.push_back({t, true});
+    }
+    const double writes_per_second =
+        params.writeBytesPerSecond /
+        static_cast<double>(params.writeBytes);
+    if (writes_per_second > 0.0) {
+        const double write_gap_ms = 1000.0 / writes_per_second;
+        for (double t = rng.exponential(write_gap_ms); t < horizon_ms;
+             t += rng.exponential(write_gap_ms)) {
+            arrivals.push_back({t, false});
+        }
+    }
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const Arrival &a, const Arrival &b) {
+                  return a.timeMs < b.timeMs;
+              });
+
+    // FCFS single server.
+    QueueSimResult result;
+    double busy_until_ms = 0.0;
+    double busy_total_ms = 0.0;
+    double read_response_ms = 0.0;
+    double read_service_ms = 0.0;
+    double write_response_ms = 0.0;
+
+    for (const Arrival &arrival : arrivals) {
+        // Reads seek to random data; segment writes append at the log
+        // head (one short seek regardless of size).
+        const ServiceTime service =
+            arrival.isRead ? model.serviceRandom(params.readBytes)
+                           : model.serviceSequential(params.writeBytes);
+        const double start_ms =
+            std::max(arrival.timeMs, busy_until_ms);
+        const double finish_ms = start_ms + service.totalMs();
+        const double response_ms = finish_ms - arrival.timeMs;
+        busy_until_ms = finish_ms;
+        busy_total_ms += service.totalMs();
+
+        if (arrival.isRead) {
+            ++result.reads;
+            read_response_ms += response_ms;
+            read_service_ms += service.totalMs();
+        } else {
+            ++result.writes;
+            write_response_ms += response_ms;
+        }
+    }
+
+    if (result.reads > 0) {
+        result.meanReadResponseMs =
+            read_response_ms / static_cast<double>(result.reads);
+        result.meanReadServiceMs =
+            read_service_ms / static_cast<double>(result.reads);
+    }
+    if (result.writes > 0) {
+        result.meanWriteResponseMs =
+            write_response_ms / static_cast<double>(result.writes);
+    }
+    result.diskUtilization = busy_total_ms / horizon_ms;
+    return result;
+}
+
+} // namespace nvfs::disk

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Event-driven single-disk queue simulation, for the read-latency
+ * question the paper closes Section 3 with: "Extremely large write
+ * I/O's can cause potentially unacceptable latency to any synchronous
+ * read requests that queue up behind them.  Analytic results in [3]
+ * show that the optimal write size for an LFS is approximately two
+ * disk tracks ... the increase in mean read response time due to full
+ * segment writes is sometimes as much as 37%, but typically about
+ * 14%."
+ *
+ * Reads and segment writes arrive as Poisson streams and are served
+ * FCFS by one disk; write size is swept while write *byte throughput*
+ * is held constant, isolating the effect of write granularity on read
+ * response time.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "disk/disk_model.hpp"
+#include "util/rng.hpp"
+
+namespace nvfs::disk {
+
+/** Inputs of one queue simulation. */
+struct QueueSimParams
+{
+    DiskParams disk;
+    double readsPerSecond = 10.0;
+    Bytes readBytes = kBlockSize;
+    /** Write load as bytes/second; request rate = load / writeBytes. */
+    double writeBytesPerSecond = 100.0 * 1024;
+    Bytes writeBytes = 512 * kKiB; ///< one request's size (swept)
+    double durationSeconds = 3600.0;
+    std::uint64_t seed = 1;
+};
+
+/** Outputs of one queue simulation. */
+struct QueueSimResult
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    double meanReadResponseMs = 0.0; ///< queueing wait + service
+    double meanReadServiceMs = 0.0;  ///< service alone
+    double meanWriteResponseMs = 0.0;
+    double diskUtilization = 0.0;    ///< busy fraction
+
+    /** Queueing penalty on reads, as a percentage of service time. */
+    double
+    readSlowdownPct() const
+    {
+        return meanReadServiceMs > 0.0
+                   ? 100.0 * (meanReadResponseMs - meanReadServiceMs) /
+                         meanReadServiceMs
+                   : 0.0;
+    }
+};
+
+/** Run the FCFS queue to completion. */
+QueueSimResult simulateDiskQueue(const QueueSimParams &params);
+
+} // namespace nvfs::disk

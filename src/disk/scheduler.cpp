@@ -1,0 +1,33 @@
+#include "disk/scheduler.hpp"
+
+#include <algorithm>
+
+namespace nvfs::disk {
+
+ServiceTime
+serviceBatch(const DiskModel &model, std::vector<DiskRequest> requests,
+             Schedule schedule, std::uint32_t start_cylinder)
+{
+    if (schedule == Schedule::Elevator) {
+        std::sort(requests.begin(), requests.end(),
+                  [](const DiskRequest &a, const DiskRequest &b) {
+                      return a.cylinder < b.cylinder;
+                  });
+    }
+    ServiceTime time = model.serviceSequence(requests, start_cylinder);
+    if (schedule == Schedule::Elevator) {
+        // Address-sorted batches largely hide rotational latency
+        // (requests are issued in rotational order within a
+        // cylinder); see DiskParams::sortedRotationFactor.
+        time.rotationMs *= model.params().sortedRotationFactor;
+    }
+    return time;
+}
+
+double
+unbufferedUtilization(const DiskModel &model, Bytes block_bytes)
+{
+    return model.serviceRandom(block_bytes).utilization();
+}
+
+} // namespace nvfs::disk

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Request scheduling over the disk model: FIFO versus elevator (sorted
+ * by cylinder).  Reproduces the [20] observation that buffering and
+ * sorting a large batch of small writes multiplies effective disk
+ * bandwidth.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "disk/disk_model.hpp"
+
+namespace nvfs::disk {
+
+/** Scheduling discipline for a batch of requests. */
+enum class Schedule { Fifo, Elevator };
+
+/**
+ * Service a batch under the given discipline.  Elevator sorts by
+ * cylinder (one sweep), modelling what a system can do once requests
+ * are buffered in NVRAM.
+ */
+ServiceTime serviceBatch(const DiskModel &model,
+                         std::vector<DiskRequest> requests,
+                         Schedule schedule,
+                         std::uint32_t start_cylinder = 0);
+
+/**
+ * Utilization of writing `count` random blocks of `block_bytes`
+ * one-at-a-time (unbuffered), per the [20] baseline.
+ */
+double unbufferedUtilization(const DiskModel &model, Bytes block_bytes);
+
+} // namespace nvfs::disk

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The LFS garbage collector ("cleaner"): reclaims space from segments
+ * whose data has been overwritten or deleted, compacting the remaining
+ * live blocks into new segments at the log head.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "lfs/log.hpp"
+
+namespace nvfs::lfs {
+
+/** Result of one cleaning pass. */
+struct CleanResult
+{
+    std::uint32_t segmentsReclaimed = 0;
+    Bytes liveBytesCopied = 0;
+    std::uint32_t segmentsExamined = 0;
+};
+
+/** Greedy lowest-utilization cleaner. */
+class Cleaner
+{
+  public:
+    /**
+     * Reclaim segments until at least `target_free` segments are free
+     * (or nothing reclaimable remains).  Greedy policy: always clean
+     * the sealed segment with the lowest live fraction.  No-op on an
+     * unbounded disk unless `force` is set.
+     */
+    CleanResult clean(LfsLog &log, std::uint32_t target_free,
+                      bool force = false);
+
+    /**
+     * Convenience: run clean() when the log is below its low-water
+     * mark, targeting the high-water mark.
+     */
+    CleanResult maybeClean(LfsLog &log);
+};
+
+} // namespace nvfs::lfs

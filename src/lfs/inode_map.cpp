@@ -1,0 +1,98 @@
+#include "lfs/inode_map.hpp"
+
+namespace nvfs::lfs {
+
+std::optional<SegmentAddress>
+InodeMap::locate(FileId file, std::uint32_t block) const
+{
+    auto fit = files_.find(file);
+    if (fit == files_.end())
+        return std::nullopt;
+    auto bit = fit->second.find(block);
+    if (bit == fit->second.end())
+        return std::nullopt;
+    return bit->second;
+}
+
+std::optional<SegmentAddress>
+InodeMap::update(FileId file, std::uint32_t block,
+                 SegmentAddress address)
+{
+    auto &blocks = files_[file];
+    auto it = blocks.find(block);
+    if (it == blocks.end()) {
+        blocks.emplace(block, address);
+        return std::nullopt;
+    }
+    const SegmentAddress old = it->second;
+    it->second = address;
+    return old;
+}
+
+std::vector<SegmentAddress>
+InodeMap::removeFile(FileId file)
+{
+    std::vector<SegmentAddress> out;
+    auto fit = files_.find(file);
+    if (fit == files_.end())
+        return out;
+    out.reserve(fit->second.size());
+    for (const auto &[block, address] : fit->second)
+        out.push_back(address);
+    files_.erase(fit);
+    return out;
+}
+
+std::vector<SegmentAddress>
+InodeMap::truncate(FileId file, std::uint32_t first_dead)
+{
+    std::vector<SegmentAddress> out;
+    auto fit = files_.find(file);
+    if (fit == files_.end())
+        return out;
+    auto it = fit->second.lower_bound(first_dead);
+    while (it != fit->second.end()) {
+        out.push_back(it->second);
+        it = fit->second.erase(it);
+    }
+    if (fit->second.empty())
+        files_.erase(fit);
+    return out;
+}
+
+std::vector<std::pair<std::uint32_t, SegmentAddress>>
+InodeMap::blocksOf(FileId file) const
+{
+    std::vector<std::pair<std::uint32_t, SegmentAddress>> out;
+    auto fit = files_.find(file);
+    if (fit == files_.end())
+        return out;
+    out.reserve(fit->second.size());
+    for (const auto &[block, address] : fit->second)
+        out.emplace_back(block, address);
+    return out;
+}
+
+std::size_t
+InodeMap::blockCount() const
+{
+    std::size_t count = 0;
+    for (const auto &[file, blocks] : files_)
+        count += blocks.size();
+    return count;
+}
+
+bool
+InodeMap::operator==(const InodeMap &other) const
+{
+    if (files_.size() != other.files_.size())
+        return false;
+    for (const auto &[file, blocks] : files_) {
+        auto it = other.files_.find(file);
+        if (it == other.files_.end() || it->second != blocks)
+            return false;
+    }
+    return true;
+}
+
+} // namespace nvfs::lfs

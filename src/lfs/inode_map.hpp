@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The inode map: where the latest version of every file block lives in
+ * the log.  (Sprite LFS keeps this in the "inode map" plus per-file
+ * metadata blocks; we collapse both into one lookup structure and
+ * charge the metadata blocks at segment-write time.)
+ */
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lfs/segment.hpp"
+
+namespace nvfs::lfs {
+
+/** Maps (file, block index) to the block's current log address. */
+class InodeMap
+{
+  public:
+    /** Current address of a block, if the block exists. */
+    std::optional<SegmentAddress> locate(FileId file,
+                                         std::uint32_t block) const;
+
+    /**
+     * Point a block at a new address.
+     * @return the previous address if the block existed (the caller
+     *         dead-ens that copy in its segment).
+     */
+    std::optional<SegmentAddress> update(FileId file,
+                                         std::uint32_t block,
+                                         SegmentAddress address);
+
+    /** Remove a file entirely; returns the addresses of its blocks. */
+    std::vector<SegmentAddress> removeFile(FileId file);
+
+    /**
+     * Remove blocks with index >= first_dead (truncation); returns
+     * their addresses.
+     */
+    std::vector<SegmentAddress> truncate(FileId file,
+                                         std::uint32_t first_dead);
+
+    /** All (block, address) pairs of a file, ascending block index. */
+    std::vector<std::pair<std::uint32_t, SegmentAddress>>
+    blocksOf(FileId file) const;
+
+    /** Number of mapped blocks across all files. */
+    std::size_t blockCount() const;
+
+    /** Number of files with at least one block. */
+    std::size_t fileCount() const { return files_.size(); }
+
+    /** Deep comparison (used by recovery tests). */
+    bool operator==(const InodeMap &other) const;
+
+  private:
+    std::unordered_map<FileId, std::map<std::uint32_t, SegmentAddress>>
+        files_;
+};
+
+} // namespace nvfs::lfs

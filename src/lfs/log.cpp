@@ -1,0 +1,343 @@
+#include "lfs/log.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace nvfs::lfs {
+
+std::string
+sealCauseName(SealCause cause)
+{
+    switch (cause) {
+      case SealCause::Full: return "full";
+      case SealCause::Fsync: return "fsync";
+      case SealCause::Timeout: return "timeout";
+      case SealCause::Cleaner: return "cleaner";
+      case SealCause::Checkpoint: return "checkpoint";
+      case SealCause::Shutdown: return "shutdown";
+    }
+    return "unknown";
+}
+
+LfsLog::LfsLog(const LfsConfig &config) : config_(config)
+{
+    NVFS_REQUIRE(config_.segmentBytes >= 2 * config_.blockBytes,
+                 "segment must hold at least two blocks");
+}
+
+Bytes
+LfsLog::pendingMetadataBytes() const
+{
+    // At least one metadata block per segment, one per distinct file.
+    const std::size_t files = std::max<std::size_t>(
+        1, pendingFiles_.size());
+    return static_cast<Bytes>(files) * config_.metadataBlockBytes;
+}
+
+void
+LfsLog::killAddress(const SegmentAddress &address)
+{
+    NVFS_REQUIRE(address.segment < segments_.size(),
+                 "dead address out of range");
+    Segment &segment = segments_[address.segment];
+    NVFS_REQUIRE(address.slot < segment.entries.size(),
+                 "dead slot out of range");
+    SegmentEntry &entry = segment.entries[address.slot];
+    if (entry.live) {
+        entry.live = false;
+        NVFS_REQUIRE(segment.liveBytes >= entry.bytes,
+                     "live-byte underflow");
+        segment.liveBytes -= entry.bytes;
+    }
+}
+
+void
+LfsLog::appendInternal(FileId file, std::uint32_t block, Bytes begin,
+                       Bytes end, bool cleaner)
+{
+    NVFS_REQUIRE(begin < end && end <= config_.blockBytes,
+                 "block write range out of range");
+
+    // Rewriting a block already in the open segment unions the dirty
+    // ranges: the block occupies one slot in the segment buffer.
+    const auto key = std::make_pair(file, block);
+    auto it = pendingIndex_.find(key);
+    if (it != pendingIndex_.end()) {
+        PendingBlock &pb = pending_[it->second];
+        const Bytes before = pb.bytes();
+        pb.ranges.insert(begin, end);
+        pendingData_ += pb.bytes() - before;
+        if (cleaner)
+            stats_.cleanerCopiedBytes += pb.bytes() - before;
+        return;
+    }
+
+    // Seal first if this block would overflow the segment.
+    const Bytes bytes = end - begin;
+    const bool new_file = pendingFiles_.find(file) == pendingFiles_.end();
+    const Bytes meta = pendingMetadataBytes() +
+        (new_file ? config_.metadataBlockBytes : 0);
+    if (!pending_.empty() &&
+        pendingData_ + bytes + meta + config_.summaryBytes >
+            config_.segmentBytes) {
+        seal(cleaner ? SealCause::Cleaner : SealCause::Full);
+    }
+
+    pendingIndex_[key] = pending_.size();
+    PendingBlock pb;
+    pb.file = file;
+    pb.block = block;
+    pb.ranges.insert(begin, end);
+    pending_.push_back(std::move(pb));
+    ++pendingFiles_[file];
+    pendingData_ += bytes;
+    pendingJournal_.push_back({JournalRecord::Kind::Write, file, block});
+    if (cleaner)
+        stats_.cleanerCopiedBytes += bytes;
+}
+
+void
+LfsLog::writeBlock(FileId file, std::uint32_t block, Bytes bytes)
+{
+    appendInternal(file, block, 0, bytes, false);
+}
+
+void
+LfsLog::writeBlockRange(FileId file, std::uint32_t block, Bytes begin,
+                        Bytes end)
+{
+    appendInternal(file, block, begin, end, false);
+}
+
+void
+LfsLog::cleanerCopyBlock(FileId file, std::uint32_t block, Bytes bytes)
+{
+    appendInternal(file, block, 0, bytes, true);
+}
+
+void
+LfsLog::cleanerFlush()
+{
+    seal(SealCause::Cleaner);
+}
+
+bool
+LfsLog::seal(SealCause cause)
+{
+    if (pending_.empty() && pendingJournal_.empty())
+        return false;
+    if (pending_.empty() && cause != SealCause::Checkpoint &&
+        cause != SealCause::Shutdown) {
+        // Deletion records ride along with the next data segment
+        // rather than forcing a write of their own.
+        return false;
+    }
+
+    Segment segment;
+    segment.id = static_cast<std::uint32_t>(segments_.size());
+    segment.cause = cause;
+
+    for (const PendingBlock &pb : pending_) {
+        const SegmentAddress address{
+            segment.id, static_cast<std::uint32_t>(
+                            segment.entries.size())};
+        const Bytes bytes = pb.bytes();
+        segment.entries.push_back({EntryKind::Data, pb.file, pb.block,
+                                   bytes, true});
+        segment.dataBytes += bytes;
+        segment.liveBytes += bytes;
+        if (auto old = inodes_.update(pb.file, pb.block, address))
+            killAddress(*old);
+    }
+    // One metadata block per distinct file (minimum one).
+    const std::size_t files = std::max<std::size_t>(
+        1, pendingFiles_.size());
+    for (std::size_t i = 0; i < files; ++i) {
+        segment.entries.push_back({EntryKind::Metadata, kNoFile, 0,
+                                   config_.metadataBlockBytes, false});
+        segment.metadataBytes += config_.metadataBlockBytes;
+    }
+    segment.entries.push_back({EntryKind::Summary, kNoFile, 0,
+                               config_.summaryBytes, false});
+    segment.summaryBytes = config_.summaryBytes;
+
+    // Stats.
+    ++stats_.segmentsWritten;
+    stats_.dataBytes += segment.dataBytes;
+    stats_.metadataBytes += segment.metadataBytes;
+    stats_.summaryBytes += segment.summaryBytes;
+    // A segment is "full" when the auto-seal closed it because no
+    // further block would fit; every forced seal is a partial write.
+    const bool partial = cause != SealCause::Full;
+    if (cause == SealCause::Cleaner) {
+        ++stats_.cleanerSegments;
+    } else if (partial) {
+        ++stats_.partialSegments;
+        stats_.partialDataBytes += segment.dataBytes;
+        if (cause == SealCause::Fsync) {
+            ++stats_.partialsByFsync;
+            stats_.fsyncDataBytes += segment.dataBytes;
+        } else if (cause == SealCause::Timeout) {
+            ++stats_.partialsByTimeout;
+        }
+    } else {
+        ++stats_.fullSegments;
+    }
+
+    ++active_;
+    if (config_.diskSegments > 0 && active_ > config_.diskSegments) {
+        util::warn(util::format("LFS disk over capacity: %u active of "
+                                "%u segments — cleaner falling behind",
+                                active_, config_.diskSegments));
+    }
+
+    // Persist the chronological journal (conceptually part of the
+    // summary block); recovery replays it in order.
+    journals_.resize(segments_.size() + 1);
+    journals_[segment.id] = std::move(pendingJournal_);
+    pendingJournal_.clear();
+
+    activeIds_.insert(segment.id);
+    segments_.push_back(std::move(segment));
+    pending_.clear();
+    pendingIndex_.clear();
+    pendingFiles_.clear();
+    pendingData_ = 0;
+    return true;
+}
+
+void
+LfsLog::deleteFile(FileId file)
+{
+    // Drop pending blocks of the file.
+    if (pendingFiles_.erase(file) > 0) {
+        std::vector<PendingBlock> kept;
+        kept.reserve(pending_.size());
+        pendingIndex_.clear();
+        pendingData_ = 0;
+        for (PendingBlock &pb : pending_) {
+            if (pb.file == file)
+                continue;
+            pendingIndex_[{pb.file, pb.block}] = kept.size();
+            pendingData_ += pb.bytes();
+            kept.push_back(std::move(pb));
+        }
+        pending_ = std::move(kept);
+    }
+    for (const SegmentAddress &address : inodes_.removeFile(file))
+        killAddress(address);
+    pendingJournal_.push_back({JournalRecord::Kind::Delete, file, 0});
+}
+
+void
+LfsLog::truncate(FileId file, Bytes new_size)
+{
+    const auto first_dead = static_cast<std::uint32_t>(
+        blocksCovering(new_size));
+    // Pending blocks beyond the new size die before reaching disk.
+    bool touched = false;
+    std::vector<PendingBlock> kept;
+    kept.reserve(pending_.size());
+    for (PendingBlock &pb : pending_) {
+        if (pb.file == file && pb.block >= first_dead) {
+            touched = true;
+            continue;
+        }
+        kept.push_back(std::move(pb));
+    }
+    if (touched) {
+        pending_ = std::move(kept);
+        pendingIndex_.clear();
+        pendingFiles_.clear();
+        pendingData_ = 0;
+        for (std::size_t i = 0; i < pending_.size(); ++i) {
+            pendingIndex_[{pending_[i].file, pending_[i].block}] = i;
+            ++pendingFiles_[pending_[i].file];
+            pendingData_ += pending_[i].bytes();
+        }
+    }
+    for (const SegmentAddress &address :
+         inodes_.truncate(file, first_dead)) {
+        killAddress(address);
+    }
+    pendingJournal_.push_back({JournalRecord::Kind::Truncate, file,
+                               first_dead});
+}
+
+Checkpoint
+LfsLog::takeCheckpoint()
+{
+    seal(SealCause::Checkpoint);
+    Checkpoint cp;
+    cp.nextSegment = static_cast<std::uint32_t>(segments_.size());
+    cp.inodes = inodes_;
+    return cp;
+}
+
+std::uint32_t
+LfsLog::freeSegments() const
+{
+    if (config_.diskSegments == 0)
+        return 0;
+    return active_ >= config_.diskSegments
+               ? 0
+               : config_.diskSegments - active_;
+}
+
+const std::vector<JournalRecord> &
+LfsLog::journalOf(std::uint32_t id) const
+{
+    static const std::vector<JournalRecord> kEmpty;
+    if (id >= journals_.size())
+        return kEmpty;
+    return journals_[id];
+}
+
+void
+LfsLog::reclaim(std::uint32_t segment_id)
+{
+    NVFS_REQUIRE(segment_id < segments_.size(),
+                 "reclaim of unknown segment");
+    Segment &segment = segments_[segment_id];
+    NVFS_REQUIRE(!segment.reclaimed, "double reclaim");
+    NVFS_REQUIRE(segment.liveBytes == 0,
+                 "reclaiming a segment with live data");
+    segment.reclaimed = true;
+    // Free the bulk storage: a reclaimed segment's slots can never be
+    // the latest copy of anything (liveBytes == 0), so recovery's
+    // slot lookup safely finds nothing; its journal is kept for the
+    // delete/truncate records.
+    segment.entries.clear();
+    segment.entries.shrink_to_fit();
+    NVFS_REQUIRE(active_ > 0, "active segment underflow");
+    --active_;
+    activeIds_.erase(segment_id);
+}
+
+void
+LfsLog::checkInvariants() const
+{
+    // Every inode-map address must point at a live data entry with the
+    // right identity, and per-segment live bytes must sum correctly.
+    std::vector<Bytes> live(segments_.size(), 0);
+    for (const Segment &segment : segments_) {
+        for (const SegmentEntry &entry : segment.entries) {
+            if (entry.kind == EntryKind::Data && entry.live)
+                live[segment.id] += entry.bytes;
+        }
+    }
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        NVFS_REQUIRE(live[i] == segments_[i].liveBytes,
+                     "segment live-byte accounting diverged");
+    }
+
+    Bytes pending_total = 0;
+    for (const PendingBlock &pb : pending_)
+        pending_total += pb.bytes();
+    NVFS_REQUIRE(pending_total == pendingData_,
+                 "pending byte accounting diverged");
+}
+
+} // namespace nvfs::lfs

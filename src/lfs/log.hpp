@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The log-structured file system core: an append-only log of segments
+ * with an inode map, live-byte accounting, deletion/truncation records
+ * for crash recovery, and checkpoints.
+ *
+ * Dirty blocks accumulate in an open ("pending") segment; the segment
+ * is written to disk either when full or when forced out early by an
+ * fsync or the 30-second delayed write-back — the partial-segment
+ * writes at the center of Section 3.  Every seal() is one disk write
+ * access and charges at least one metadata block (4 KB per distinct
+ * file) plus a 512-byte summary block, matching the paper's overhead
+ * accounting.
+ */
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "lfs/inode_map.hpp"
+#include "lfs/segment.hpp"
+#include "util/interval_set.hpp"
+
+namespace nvfs::lfs {
+
+/**
+ * One chronological record in a segment's recovery journal.  Write
+ * records resolve to the block's final slot in the segment (writes
+ * whose data was deleted again before the seal resolve to nothing and
+ * are skipped on replay); Delete/Truncate records persist the
+ * directory operations that happened during the segment's lifetime.
+ */
+struct JournalRecord
+{
+    enum class Kind : std::uint8_t { Write, Delete, Truncate };
+
+    Kind kind = Kind::Write;
+    FileId file = kNoFile;
+    std::uint32_t block = 0; ///< Write: block index;
+                             ///< Truncate: first dead block
+
+    bool operator==(const JournalRecord &other) const = default;
+};
+
+/** Counters over the life of a log. */
+struct LogStats
+{
+    std::uint64_t segmentsWritten = 0;  ///< == disk write accesses
+    std::uint64_t fullSegments = 0;
+    std::uint64_t partialSegments = 0;
+    std::uint64_t partialsByFsync = 0;
+    std::uint64_t partialsByTimeout = 0;
+    std::uint64_t cleanerSegments = 0;
+    Bytes dataBytes = 0;
+    Bytes metadataBytes = 0;
+    Bytes summaryBytes = 0;
+    Bytes fsyncDataBytes = 0;    ///< data in fsync-forced partials
+    Bytes partialDataBytes = 0;  ///< data in all partials
+    Bytes cleanerCopiedBytes = 0;
+
+    /** Total bytes written to the disk. */
+    Bytes
+    diskBytes() const
+    {
+        return dataBytes + metadataBytes + summaryBytes;
+    }
+};
+
+/** Checkpoint: a consistent inode-map snapshot. */
+struct Checkpoint
+{
+    std::uint32_t nextSegment = 0; ///< first segment not covered
+    InodeMap inodes;
+};
+
+/** The append-only segment log. */
+class LfsLog
+{
+  public:
+    explicit LfsLog(const LfsConfig &config = {});
+
+    /**
+     * Write (up to) one block of dirty data into the log.  Auto-seals
+     * a Full segment when the pending data reaches the segment size.
+     * Equivalent to writeBlockRange(file, block, 0, bytes).
+     * @param bytes dirty bytes in the block, <= config.blockBytes
+     */
+    void writeBlock(FileId file, std::uint32_t block, Bytes bytes);
+
+    /**
+     * Write dirty byte range [begin, end) of a block (offsets within
+     * the block).  Repeated writes of one block into the same open
+     * segment union their ranges — the block occupies the union, as
+     * it would in the real segment buffer.
+     */
+    void writeBlockRange(FileId file, std::uint32_t block, Bytes begin,
+                         Bytes end);
+
+    /**
+     * Force the pending data to disk (fsync / delayed write-back /
+     * checkpoint / shutdown).
+     * @return true if a segment was written, false if nothing pending
+     */
+    bool seal(SealCause cause);
+
+    /** Delete a file: drop pending blocks, dead-en on-disk blocks. */
+    void deleteFile(FileId file);
+
+    /** Truncate a file to `new_size` bytes. */
+    void truncate(FileId file, Bytes new_size);
+
+    /** Bytes of file data waiting in the open segment. */
+    Bytes pendingBytes() const { return pendingData_; }
+
+    /** Checkpoint the file system (seals pending data first). */
+    Checkpoint takeCheckpoint();
+
+    /** Read access for reporting, the cleaner, and recovery. */
+    const LfsConfig &config() const { return config_; }
+    const InodeMap &inodes() const { return inodes_; }
+    const std::vector<Segment> &segments() const { return segments_; }
+    const LogStats &stats() const { return stats_; }
+
+    /** Segments on disk that are not reclaimed. */
+    std::uint32_t activeSegments() const { return active_; }
+
+    /**
+     * Recovery journal persisted with segment `id` (rides in its
+     * summary; replayed chronologically on roll-forward).
+     */
+    const std::vector<JournalRecord> &journalOf(std::uint32_t id) const;
+
+    /** Free segments left (only meaningful with diskSegments > 0). */
+    std::uint32_t freeSegments() const;
+
+    // ---- Cleaner interface -------------------------------------------
+
+    /**
+     * Re-append a live block during cleaning.  Identical to
+     * writeBlock but auto-seals with SealCause::Cleaner and counts
+     * cleaner traffic.
+     */
+    void cleanerCopyBlock(FileId file, std::uint32_t block, Bytes bytes);
+
+    /** Flush the cleaner's pending data. */
+    void cleanerFlush();
+
+    /** Mark a sealed segment reclaimed (its space is free again).
+     *  Releases the segment's entry storage — only identity, cause
+     *  and byte totals remain inspectable afterwards. */
+    void reclaim(std::uint32_t segment_id);
+
+    /** Ids of sealed, unreclaimed segments (ascending). */
+    const std::set<std::uint32_t> &activeSegmentIds() const
+    {
+        return activeIds_;
+    }
+
+    /** Check internal consistency (tests); panics on violation. */
+    void checkInvariants() const;
+
+  private:
+    struct PendingBlock
+    {
+        FileId file;
+        std::uint32_t block;
+        util::IntervalSet ranges; ///< dirty ranges within the block
+
+        Bytes bytes() const { return ranges.totalBytes(); }
+    };
+
+    /** Shared implementation of the write/copy entry points. */
+    void appendInternal(FileId file, std::uint32_t block, Bytes begin,
+                        Bytes end, bool cleaner);
+
+    /** Metadata charge for the current pending set. */
+    Bytes pendingMetadataBytes() const;
+
+    /** Dead-en a superseded on-disk copy. */
+    void killAddress(const SegmentAddress &address);
+
+    LfsConfig config_;
+    InodeMap inodes_;
+    std::vector<Segment> segments_;
+    LogStats stats_;
+    std::uint32_t active_ = 0;
+    std::set<std::uint32_t> activeIds_;
+
+    std::vector<PendingBlock> pending_;
+    std::map<std::pair<FileId, std::uint32_t>, std::size_t> pendingIndex_;
+    std::map<FileId, int> pendingFiles_; ///< distinct files pending
+    Bytes pendingData_ = 0;
+    std::vector<JournalRecord> pendingJournal_;
+    /** Per-segment persisted journals, indexed by segment id. */
+    std::vector<std::vector<JournalRecord>> journals_;
+};
+
+} // namespace nvfs::lfs

@@ -1,0 +1,57 @@
+#include "lfs/recovery.hpp"
+
+#include <map>
+
+namespace nvfs::lfs {
+
+RecoveryResult
+rollForward(const LfsLog &log, const Checkpoint *checkpoint)
+{
+    RecoveryResult result;
+    std::uint32_t first = 0;
+    if (checkpoint) {
+        result.inodes = checkpoint->inodes;
+        first = checkpoint->nextSegment;
+    }
+
+    const auto &segments = log.segments();
+    for (std::uint32_t id = first; id < segments.size(); ++id) {
+        const Segment &segment = segments[id];
+        ++result.segmentsReplayed;
+
+        // Final location of each (file, block) within this segment.
+        std::map<std::pair<FileId, std::uint32_t>, std::uint32_t> slots;
+        for (std::uint32_t slot = 0; slot < segment.entries.size();
+             ++slot) {
+            const SegmentEntry &entry = segment.entries[slot];
+            if (entry.kind == EntryKind::Data)
+                slots[{entry.file, entry.blockIndex}] = slot;
+        }
+
+        // Replay the journal chronologically.
+        for (const JournalRecord &record : log.journalOf(id)) {
+            switch (record.kind) {
+              case JournalRecord::Kind::Write: {
+                auto it = slots.find({record.file, record.block});
+                if (it == slots.end())
+                    break; // data died again before the seal
+                result.inodes.update(record.file, record.block,
+                                     {id, it->second});
+                ++result.blocksRecovered;
+                break;
+              }
+              case JournalRecord::Kind::Delete:
+                result.inodes.removeFile(record.file);
+                ++result.metaOpsReplayed;
+                break;
+              case JournalRecord::Kind::Truncate:
+                result.inodes.truncate(record.file, record.block);
+                ++result.metaOpsReplayed;
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace nvfs::lfs

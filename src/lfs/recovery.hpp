@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Crash recovery: rebuild the inode map by rolling forward through
+ * segment summaries from the last checkpoint, exactly the mechanism
+ * that lets LFS (and the paper's NVRAM write buffer) guarantee
+ * durability without synchronous metadata writes.
+ */
+
+#pragma once
+
+#include "lfs/log.hpp"
+
+namespace nvfs::lfs {
+
+/** What recovery found. */
+struct RecoveryResult
+{
+    InodeMap inodes;
+    std::uint32_t segmentsReplayed = 0;
+    std::uint64_t blocksRecovered = 0;
+    std::uint64_t metaOpsReplayed = 0;
+};
+
+/**
+ * Roll forward from `checkpoint` (or from the beginning when null)
+ * through every sealed segment of `log`, applying data entries then
+ * the segment's deletion/truncation records.  The result must equal
+ * the live inode map — data appended after the last seal (still in
+ * the open segment, i.e. lost volatile state) is *not* recovered,
+ * which is exactly the paper's reliability argument for putting the
+ * write buffer in NVRAM.
+ */
+RecoveryResult rollForward(const LfsLog &log,
+                           const Checkpoint *checkpoint = nullptr);
+
+} // namespace nvfs::lfs

@@ -1,0 +1,38 @@
+#include "net/network_model.hpp"
+
+#include "util/log.hpp"
+
+namespace nvfs::net {
+
+NetworkModel::NetworkModel(const NetworkParams &params)
+    : params_(params)
+{
+    NVFS_REQUIRE(params_.bandwidthMbps > 0.0 &&
+                     params_.maxTransferBytes > 0,
+                 "network parameters must be positive");
+}
+
+TransferTime
+NetworkModel::transfer(Bytes bytes) const
+{
+    TransferTime time;
+    time.wireMs = static_cast<double>(bytes) * 8.0 /
+                  (params_.bandwidthMbps * 1e6) * 1000.0;
+    const auto rpcs =
+        (bytes + params_.maxTransferBytes - 1) /
+        params_.maxTransferBytes;
+    time.rpcMs = static_cast<double>(rpcs) * params_.rpcOverheadMs;
+    return time;
+}
+
+double
+NetworkModel::utilization(Bytes bytes, TimeUs interval) const
+{
+    if (interval <= 0)
+        return 0.0;
+    const double interval_ms =
+        static_cast<double>(interval) / 1000.0;
+    return transfer(bytes).totalMs() / interval_ms;
+}
+
+} // namespace nvfs::net

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A 1992-era network cost model: 10 Mbit/s Ethernet with per-RPC
+ * overhead, used to translate the client-server byte counts the
+ * simulations produce into transfer-time and utilization estimates —
+ * quantifying the paper's premise that, as caches keep absorbing
+ * reads, the remaining (write-dominated) traffic governs how much of
+ * the wire the file system consumes.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace nvfs::net {
+
+/** Link and RPC parameters. */
+struct NetworkParams
+{
+    double bandwidthMbps = 10.0; ///< classic shared Ethernet
+    double rpcOverheadMs = 1.0;  ///< per-request processing + latency
+    Bytes maxTransferBytes = 8 * kKiB; ///< Sprite RPC fragment size
+};
+
+/** Time decomposition of a set of transfers. */
+struct TransferTime
+{
+    double wireMs = 0.0;    ///< serialization on the link
+    double rpcMs = 0.0;     ///< per-request overheads
+
+    double totalMs() const { return wireMs + rpcMs; }
+};
+
+/** Cost model over NetworkParams. */
+class NetworkModel
+{
+  public:
+    explicit NetworkModel(const NetworkParams &params = {});
+
+    const NetworkParams &params() const { return params_; }
+
+    /** Time to move `bytes` as size-limited RPCs. */
+    TransferTime transfer(Bytes bytes) const;
+
+    /**
+     * Fraction of the link consumed when `bytes` move during
+     * `interval` of simulated time.
+     */
+    double utilization(Bytes bytes, TimeUs interval) const;
+
+  private:
+    NetworkParams params_;
+};
+
+} // namespace nvfs::net

@@ -1,0 +1,148 @@
+#include "nvram/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace nvfs::nvram {
+
+const std::vector<CostRow> &
+costTable1992()
+{
+    static const std::vector<CostRow> kTable = {
+        {"128K*9 SRAM", "SIMM", 120, 2, 328.0, 0.5, false},
+        {"1M*1 SRAM", "SIMM", 85, 2, 336.0, 32.0, false},
+        {"512K*8 RAM", "SIMM", 70, 1, 370.0, 2.0, false},
+        {"PC-AT board", "PC-AT Bus", 70, 3, 439.0, 1.0, false},
+        {"PC-AT board", "PC-AT Bus", 70, 3, 134.0, 16.0, false},
+        {"VME board", "VME Bus", 70, 3, 634.0, 1.0, false},
+        {"VME board", "VME Bus", 70, 3, 147.0, 16.0, false},
+        {"1M*9 DRAM", "DRAM", 70, 0, 33.0, 4.0, true},
+    };
+    return kTable;
+}
+
+const std::vector<AlternativeTech> &
+alternatives1992()
+{
+    static const std::vector<AlternativeTech> kTable = {
+        // "A UPS with enough power to support a Sparcstation for one
+        // to two hours costs a minimum of $800."
+        {"UPS (1-2 h)", 800.0, 0.0, 0.07,
+         false, "cost-effective only for large memories"},
+        // "flash EEPROM has write access times significantly slower
+        // than RAM, can only be written a limited number of times"
+        {"flash EEPROM", 0.0, 60.0, 100.0, true,
+         "unsuitable: slow writes, limited endurance"},
+    };
+    return kTable;
+}
+
+std::string
+cheapestProtection(double mb)
+{
+    NVFS_REQUIRE(mb > 0.0, "need positive size");
+    const double nvram = cheapestNvramPricePerMB(mb) * mb;
+    const AlternativeTech &ups = alternatives1992().front();
+    const double ups_cost = ups.fixedCost + ups.pricePerMB * mb +
+                            dramPricePerMB() * mb;
+    return nvram <= ups_cost ? "NVRAM" : ups.name;
+}
+
+double
+dramPricePerMB()
+{
+    for (const CostRow &row : costTable1992()) {
+        if (row.volatileRam)
+            return row.pricePerMB;
+    }
+    util::panic("cost table lacks a DRAM row");
+}
+
+double
+cheapestNvramPricePerMB(double config_mb)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (const CostRow &row : costTable1992()) {
+        if (row.volatileRam)
+            continue;
+        if (row.minConfigMB <= config_mb)
+            best = std::min(best, row.pricePerMB);
+    }
+    if (!std::isfinite(best)) {
+        // Nothing fits the configuration: fall back to the smallest
+        // part (you must over-buy).
+        for (const CostRow &row : costTable1992()) {
+            if (!row.volatileRam)
+                best = std::min(best, row.pricePerMB * row.minConfigMB /
+                                          std::max(config_mb, 1e-9));
+        }
+    }
+    return best;
+}
+
+namespace {
+
+/** Traffic at extraMB = x along a piecewise-linear curve. */
+double
+trafficAt(const std::vector<CurvePoint> &curve, double x)
+{
+    NVFS_REQUIRE(!curve.empty(), "empty curve");
+    if (x <= curve.front().extraMB)
+        return curve.front().trafficPct;
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        if (x <= curve[i].extraMB) {
+            const double x0 = curve[i - 1].extraMB;
+            const double x1 = curve[i].extraMB;
+            const double y0 = curve[i - 1].trafficPct;
+            const double y1 = curve[i].trafficPct;
+            const double f = x1 > x0 ? (x - x0) / (x1 - x0) : 0.0;
+            return y0 + f * (y1 - y0);
+        }
+    }
+    return curve.back().trafficPct;
+}
+
+} // namespace
+
+double
+equivalentVolatileMB(const std::vector<CurvePoint> &volatile_curve,
+                     const std::vector<CurvePoint> &nvram_curve,
+                     double nvram_mb)
+{
+    NVFS_REQUIRE(!volatile_curve.empty() && !nvram_curve.empty(),
+                 "curves required");
+    const double target = trafficAt(nvram_curve, nvram_mb);
+
+    // Walk the volatile curve to find where it crosses `target`.
+    // Traffic decreases with memory, so scan for the first point at
+    // or below the target.
+    if (volatile_curve.front().trafficPct <= target)
+        return volatile_curve.front().extraMB;
+    for (std::size_t i = 1; i < volatile_curve.size(); ++i) {
+        if (volatile_curve[i].trafficPct <= target) {
+            const double y0 = volatile_curve[i - 1].trafficPct;
+            const double y1 = volatile_curve[i].trafficPct;
+            const double x0 = volatile_curve[i - 1].extraMB;
+            const double x1 = volatile_curve[i].extraMB;
+            const double f = y0 > y1 ? (y0 - target) / (y0 - y1) : 1.0;
+            return x0 + f * (x1 - x0);
+        }
+    }
+    return volatile_curve.back().extraMB; // NVRAM beats the whole curve
+}
+
+double
+breakEvenPriceRatio(const std::vector<CurvePoint> &volatile_curve,
+                    const std::vector<CurvePoint> &nvram_curve,
+                    double nvram_mb)
+{
+    NVFS_REQUIRE(nvram_mb > 0.0, "need a positive NVRAM size");
+    const double equivalent =
+        equivalentVolatileMB(volatile_curve, nvram_curve, nvram_mb);
+    return equivalent / nvram_mb;
+}
+
+} // namespace nvfs::nvram

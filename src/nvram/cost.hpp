@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The 1992 memory price table (Table 1 of the paper) and the
+ * Section 2.7 cost-effectiveness analysis: given two traffic-vs-memory
+ * curves (volatile-only and NVRAM-augmented), at what NVRAM:DRAM price
+ * ratio does NVRAM win?
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace nvfs::nvram {
+
+/** One row of Table 1. */
+struct CostRow
+{
+    std::string component; ///< e.g. "128K*9 SRAM SIMM"
+    std::string bus;       ///< "SIMM", "PC-AT Bus", "VME Bus", "DRAM"
+    double speedNs;        ///< access time
+    int lithiumBatteries;
+    double pricePerMB;     ///< amortized $ per megabyte
+    double minConfigMB;    ///< minimum purchasable configuration
+    bool volatileRam;      ///< the DRAM comparison row
+};
+
+/** The published Table 1 rows. */
+const std::vector<CostRow> &costTable1992();
+
+/**
+ * Alternative non-volatility technologies discussed in Section 1:
+ * an uninterruptible power supply (expensive for small memories) and
+ * flash EEPROM (slow writes, limited write cycles — unsuitable).
+ */
+struct AlternativeTech
+{
+    std::string name;
+    double fixedCost;      ///< $ regardless of protected megabytes
+    double pricePerMB;     ///< incremental $ per MB protected
+    double writeLatencyUs; ///< effective write latency
+    bool wearsOut;         ///< limited number of writes
+    std::string verdict;   ///< the paper's assessment
+};
+
+/** The Section 1 alternatives. */
+const std::vector<AlternativeTech> &alternatives1992();
+
+/**
+ * Cheapest way to protect `mb` megabytes of dirty data: battery-backed
+ * NVRAM versus a UPS.  Returns the technology name.
+ */
+std::string cheapestProtection(double mb);
+
+/** Price per MB of the volatile DRAM row. */
+double dramPricePerMB();
+
+/** Cheapest NVRAM $/MB at or below a configuration size (MB). */
+double cheapestNvramPricePerMB(double config_mb);
+
+/** A point on a traffic-reduction curve. */
+struct CurvePoint
+{
+    double extraMB = 0.0;   ///< memory added to the base cache
+    double trafficPct = 0.0; ///< resulting net total traffic (%)
+};
+
+/**
+ * How many MB of extra volatile memory produce the same traffic as
+ * `nvram_mb` of NVRAM?  Linear interpolation along the volatile
+ * curve; returns the largest x if the NVRAM point is off the end.
+ */
+double equivalentVolatileMB(const std::vector<CurvePoint> &volatile_curve,
+                            const std::vector<CurvePoint> &nvram_curve,
+                            double nvram_mb);
+
+/**
+ * Break-even price ratio: NVRAM is worth buying when its $/MB is at
+ * most `equivalentVolatileMB(...) / nvram_mb` times the DRAM price.
+ */
+double breakEvenPriceRatio(const std::vector<CurvePoint> &volatile_curve,
+                           const std::vector<CurvePoint> &nvram_curve,
+                           double nvram_mb);
+
+} // namespace nvfs::nvram

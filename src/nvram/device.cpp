@@ -1,0 +1,84 @@
+#include "nvram/device.hpp"
+
+#include "util/log.hpp"
+
+namespace nvfs::nvram {
+
+NvramDevice::NvramDevice(const DeviceParams &params)
+    : params_(params), goodBatteries_(params.batteries)
+{
+    NVFS_REQUIRE(params_.capacity > 0, "NVRAM needs capacity");
+}
+
+bool
+NvramDevice::put(std::uint64_t tag, Bytes bytes)
+{
+    auto it = contents_.find(tag);
+    const Bytes old = it == contents_.end() ? 0 : it->second;
+    if (used_ - old + bytes > params_.capacity)
+        return false;
+    used_ = used_ - old + bytes;
+    contents_[tag] = bytes;
+    ++writes_;
+    return true;
+}
+
+std::optional<Bytes>
+NvramDevice::get(std::uint64_t tag)
+{
+    ++reads_;
+    auto it = contents_.find(tag);
+    if (it == contents_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+Bytes
+NvramDevice::erase(std::uint64_t tag)
+{
+    auto it = contents_.find(tag);
+    if (it == contents_.end())
+        return 0;
+    const Bytes bytes = it->second;
+    used_ -= bytes;
+    contents_.erase(it);
+    return bytes;
+}
+
+void
+NvramDevice::clear()
+{
+    contents_.clear();
+    used_ = 0;
+}
+
+void
+NvramDevice::detach()
+{
+    attached_ = false;
+    if (goodBatteries_ <= 0) {
+        contents_.clear();
+        used_ = 0;
+        contentsValid_ = false;
+    }
+}
+
+void
+NvramDevice::attach()
+{
+    attached_ = true;
+}
+
+void
+NvramDevice::failBattery()
+{
+    if (goodBatteries_ > 0)
+        --goodBatteries_;
+    if (goodBatteries_ <= 0 && !attached_) {
+        contents_.clear();
+        used_ = 0;
+        contentsValid_ = false;
+    }
+}
+
+} // namespace nvfs::nvram

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The NVRAM device model: battery-backed RAM with capacity, access
+ * latency, and battery redundancy.  Section 4 of the paper discusses
+ * the system-design consequences — data in a crashed client's NVRAM
+ * must be recoverable by moving the component to another machine —
+ * so the device supports detach/attach with contents preserved, and
+ * battery-failure injection for reliability tests.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace nvfs::nvram {
+
+/** Static properties of an NVRAM part. */
+struct DeviceParams
+{
+    Bytes capacity = kMiB;
+    double readLatencyNs = 70.0;  ///< per-access; Table 1 parts: 70 ns
+    double writeLatencyNs = 70.0;
+    int batteries = 2;            ///< lithium cells (redundancy)
+};
+
+/**
+ * A battery-backed memory holding opaque tagged contents.
+ *
+ * Contents survive detach()/attach() (power loss of the host) as long
+ * as at least one battery is good; failBattery() injects cell death.
+ * Used by the client models to prove the recovery story and by the
+ * reliability tests.
+ */
+class NvramDevice
+{
+  public:
+    explicit NvramDevice(const DeviceParams &params = {});
+
+    const DeviceParams &params() const { return params_; }
+
+    /** Working batteries left. */
+    int goodBatteries() const { return goodBatteries_; }
+
+    /** True when contents are still guaranteed. */
+    bool contentsValid() const { return contentsValid_; }
+
+    /** Bytes currently stored. */
+    Bytes usedBytes() const { return used_; }
+
+    /** Bytes still free. */
+    Bytes
+    freeBytes() const
+    {
+        return used_ >= params_.capacity ? 0 : params_.capacity - used_;
+    }
+
+    /**
+     * Store `bytes` under `tag` (replaces any previous value for the
+     * tag).  Returns false (and stores nothing) if it would exceed
+     * capacity.  Counts a write access.
+     */
+    bool put(std::uint64_t tag, Bytes bytes);
+
+    /** Bytes stored under `tag`; counts a read access. */
+    std::optional<Bytes> get(std::uint64_t tag);
+
+    /** Remove a tag; returns the bytes freed. */
+    Bytes erase(std::uint64_t tag);
+
+    /** Drop everything. */
+    void clear();
+
+    /**
+     * Host lost power (client crash).  Contents are preserved iff a
+     * battery is good.
+     */
+    void detach();
+
+    /** Re-attach to a (possibly different) host. */
+    void attach();
+
+    /** Kill one battery; contents are lost when none remain while
+     *  detached. */
+    void failBattery();
+
+    /** Access counters (Section 2.6 compares these across models). */
+    std::uint64_t readAccesses() const { return reads_; }
+    std::uint64_t writeAccesses() const { return writes_; }
+
+  private:
+    DeviceParams params_;
+    std::unordered_map<std::uint64_t, Bytes> contents_;
+    Bytes used_ = 0;
+    int goodBatteries_;
+    bool attached_ = true;
+    bool contentsValid_ = true;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+} // namespace nvfs::nvram

@@ -1,0 +1,219 @@
+#include "prep/converter.hpp"
+
+#include <map>
+
+#include "util/log.hpp"
+
+namespace nvfs::prep {
+
+namespace {
+
+using trace::Event;
+using trace::EventType;
+
+/** Per open-instance bookkeeping for offset deduction. */
+struct OpenState
+{
+    Bytes pos = 0;
+    bool forRead = false;
+    bool forWrite = false;
+    int depth = 0; ///< nested opens by the same (client,pid)
+};
+
+struct OpenKey
+{
+    ClientId client;
+    ProcId pid;
+    FileId file;
+
+    auto operator<=>(const OpenKey &other) const = default;
+};
+
+} // namespace
+
+OpStream
+convertTrace(const trace::TraceBuffer &buffer, ConvertStats *stats)
+{
+    OpStream out;
+    out.traceIndex = buffer.header.traceIndex;
+    out.clientCount = buffer.header.clientCount;
+    out.duration = buffer.header.duration;
+    out.ops.reserve(buffer.events.size());
+
+    ConvertStats local;
+    std::map<OpenKey, OpenState> open;
+
+    auto emit = [&](Op op) {
+        out.ops.push_back(op);
+        ++local.opsOut;
+    };
+
+    // Emit a deduced sequential transfer [state.pos, upto) for an open
+    // instance, attributed per the open mode / dirty hint.
+    auto deduceRun = [&](const Event &e, OpenState &state, Bytes upto) {
+        if (upto <= state.pos)
+            return; // no forward movement: nothing transferred
+        const Bytes begin = state.pos;
+        const Bytes len = upto - begin;
+        bool is_write;
+        if (state.forWrite && !state.forRead) {
+            is_write = true;
+        } else if (state.forRead && !state.forWrite) {
+            is_write = false;
+        } else {
+            is_write = (e.flags & kDirtyHint) != 0;
+        }
+        Op op;
+        op.time = e.time;
+        op.client = e.client;
+        op.pid = e.pid;
+        op.file = e.file;
+        op.offset = begin;
+        op.length = len;
+        op.type = is_write ? OpType::Write : OpType::Read;
+        emit(op);
+        if (is_write)
+            local.deducedWriteBytes += len;
+        else
+            local.deducedReadBytes += len;
+        state.pos = upto;
+    };
+
+    for (const Event &e : buffer.events) {
+        ++local.eventsIn;
+        const OpenKey key{e.client, e.pid, e.file};
+
+        switch (e.type) {
+          case EventType::Open: {
+            if (e.flags & trace::kOpenTruncate) {
+                Op trunc;
+                trunc.time = e.time;
+                trunc.client = e.client;
+                trunc.pid = e.pid;
+                trunc.file = e.file;
+                trunc.length = 0;
+                trunc.type = OpType::Truncate;
+                emit(trunc);
+            }
+            OpenState &state = open[key];
+            state.pos = e.offset;
+            state.forRead = (e.flags & trace::kOpenRead) != 0;
+            state.forWrite = (e.flags & trace::kOpenWrite) != 0;
+            ++state.depth;
+
+            Op op;
+            op.time = e.time;
+            op.client = e.client;
+            op.pid = e.pid;
+            op.file = e.file;
+            op.type = OpType::Open;
+            op.openForRead = state.forRead;
+            op.openForWrite = state.forWrite;
+            emit(op);
+            break;
+          }
+          case EventType::Close: {
+            auto it = open.find(key);
+            if (it == open.end()) {
+                ++local.orphanEvents;
+                break;
+            }
+            deduceRun(e, it->second, e.offset);
+            Op op;
+            op.time = e.time;
+            op.client = e.client;
+            op.pid = e.pid;
+            op.file = e.file;
+            op.type = OpType::Close;
+            emit(op);
+            if (--it->second.depth <= 0)
+                open.erase(it);
+            break;
+          }
+          case EventType::Seek: {
+            auto it = open.find(key);
+            if (it == open.end()) {
+                ++local.orphanEvents;
+                break;
+            }
+            // offset = position before the seek; length = new position.
+            deduceRun(e, it->second, e.offset);
+            it->second.pos = e.length;
+            break;
+          }
+          case EventType::Read:
+          case EventType::Write: {
+            auto it = open.find(key);
+            if (it == open.end())
+                ++local.orphanEvents; // tolerated: count and continue
+            Op op;
+            op.time = e.time;
+            op.client = e.client;
+            op.pid = e.pid;
+            op.file = e.file;
+            op.offset = e.offset;
+            op.length = e.length;
+            op.type = e.type == EventType::Read ? OpType::Read
+                                                : OpType::Write;
+            emit(op);
+            if (it != open.end())
+                it->second.pos = e.offset + e.length;
+            break;
+          }
+          case EventType::Delete: {
+            Op op;
+            op.time = e.time;
+            op.client = e.client;
+            op.pid = e.pid;
+            op.file = e.file;
+            op.type = OpType::Delete;
+            emit(op);
+            break;
+          }
+          case EventType::Truncate: {
+            Op op;
+            op.time = e.time;
+            op.client = e.client;
+            op.pid = e.pid;
+            op.file = e.file;
+            op.length = e.length;
+            op.type = OpType::Truncate;
+            emit(op);
+            break;
+          }
+          case EventType::Fsync: {
+            Op op;
+            op.time = e.time;
+            op.client = e.client;
+            op.pid = e.pid;
+            op.file = e.file;
+            op.type = OpType::Fsync;
+            emit(op);
+            break;
+          }
+          case EventType::Migrate: {
+            Op op;
+            op.time = e.time;
+            op.client = e.client;
+            op.pid = e.pid;
+            op.targetClient = e.targetClient;
+            op.type = OpType::Migrate;
+            emit(op);
+            break;
+          }
+          case EventType::EndOfTrace: {
+            Op op;
+            op.time = e.time;
+            op.type = OpType::End;
+            emit(op);
+            break;
+          }
+        }
+    }
+
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace nvfs::prep

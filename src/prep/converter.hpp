@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Pass 1: convert raw trace events into the canonical op stream.
+ *
+ * For explicit-dialect traces this is mostly a relabeling.  For
+ * Sprite-compat traces (only open/seek/close carry offsets) the
+ * converter *reconstructs* read/write byte ranges from offset
+ * movement, mirroring the deduction Baker et al. performed on the
+ * real Sprite traces:
+ *
+ *  - Open records the initial position in `offset`.
+ *  - Seek records the position *before* the seek in `offset` (so the
+ *    sequential transfer since the previous event is `offset - pos`)
+ *    and the new position in `length`.
+ *  - Close records the final position in `offset`.
+ *
+ * Each sequential run is attributed as a read or a write from the open
+ * mode; for read-write opens the kDirtyHint flag on the seek/close
+ * event disambiguates (the real traces could not always do this — the
+ * paper notes only order and amount are deducible).
+ */
+
+#pragma once
+
+#include "prep/ops.hpp"
+#include "trace/stream.hpp"
+
+namespace nvfs::prep {
+
+/** Flag bit on Seek/Close marking the preceding run as a write. */
+inline constexpr std::uint32_t kDirtyHint = 1u << 5;
+
+/** Conversion statistics for validation and reporting. */
+struct ConvertStats
+{
+    std::uint64_t eventsIn = 0;
+    std::uint64_t opsOut = 0;
+    Bytes deducedReadBytes = 0;  ///< reconstructed from offsets
+    Bytes deducedWriteBytes = 0; ///< reconstructed from offsets
+    std::uint64_t orphanEvents = 0; ///< I/O on files never opened
+};
+
+/**
+ * Convert a raw trace into an op stream.  Handles both dialects in a
+ * single pass (explicit Read/Write events and offset deduction can
+ * coexist).  Events are assumed time-sorted (validateTrace enforces).
+ */
+OpStream convertTrace(const trace::TraceBuffer &buffer,
+                      ConvertStats *stats = nullptr);
+
+} // namespace nvfs::prep

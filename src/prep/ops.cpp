@@ -1,0 +1,52 @@
+#include "prep/ops.hpp"
+
+namespace nvfs::prep {
+
+std::string
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::Read: return "read";
+      case OpType::Write: return "write";
+      case OpType::Delete: return "delete";
+      case OpType::Truncate: return "truncate";
+      case OpType::Fsync: return "fsync";
+      case OpType::Open: return "open";
+      case OpType::Close: return "close";
+      case OpType::Migrate: return "migrate";
+      case OpType::End: return "end";
+    }
+    return "unknown";
+}
+
+OpStreamTotals
+totals(const OpStream &stream)
+{
+    OpStreamTotals t;
+    for (const Op &op : stream.ops) {
+        switch (op.type) {
+          case OpType::Read:
+            t.readBytes += op.length;
+            ++t.reads;
+            break;
+          case OpType::Write:
+            t.writeBytes += op.length;
+            ++t.writes;
+            break;
+          case OpType::Delete:
+            ++t.deletes;
+            break;
+          case OpType::Fsync:
+            ++t.fsyncs;
+            break;
+          case OpType::Open:
+            ++t.opens;
+            break;
+          default:
+            break;
+        }
+    }
+    return t;
+}
+
+} // namespace nvfs::prep

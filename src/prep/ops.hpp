@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The canonical operation stream consumed by every simulator pass.
+ *
+ * Pass 1 of the paper: "We first processed the trace data to convert
+ * it into read, write, delete, flush, and invalidate operations on
+ * ranges of bytes."  Op is that processed form.  Consistency-driven
+ * flushes and invalidations are *derived* by the simulator's server
+ * state from Open/Close ops, so the op stream carries opens and closes
+ * through (they drive the consistency engine but transfer no bytes
+ * themselves).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace nvfs::prep {
+
+/** Kind of a processed operation. */
+enum class OpType : std::uint8_t {
+    Read = 0,   ///< read [offset, offset+length) of file
+    Write,      ///< write [offset, offset+length) of file
+    Delete,     ///< delete the file (all bytes die)
+    Truncate,   ///< drop bytes at or beyond `length`
+    Fsync,      ///< application fsync of file
+    Open,       ///< drives the consistency engine
+    Close,      ///< ditto
+    Migrate,    ///< process migrated; flush its dirty data
+    End,        ///< end of trace
+};
+
+/** One processed operation on a byte range. */
+struct Op
+{
+    TimeUs time = 0;
+    Bytes offset = 0;
+    Bytes length = 0;
+    FileId file = kNoFile;
+    ProcId pid = 0;
+    ClientId client = 0;
+    ClientId targetClient = 0; ///< Migrate: destination
+    OpType type = OpType::End;
+    bool openForWrite = false; ///< Open only
+    bool openForRead = false;  ///< Open only
+
+    bool operator==(const Op &other) const = default;
+};
+
+/** A full processed trace. */
+struct OpStream
+{
+    std::uint16_t traceIndex = 0;
+    std::uint32_t clientCount = 0;
+    TimeUs duration = 0;
+    std::vector<Op> ops;
+};
+
+/** Name of an op type. */
+std::string opTypeName(OpType type);
+
+/** Aggregate byte counts of an op stream (for sanity checks). */
+struct OpStreamTotals
+{
+    Bytes readBytes = 0;
+    Bytes writeBytes = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t deletes = 0;
+    std::uint64_t fsyncs = 0;
+    std::uint64_t opens = 0;
+};
+
+/** Compute totals over a stream. */
+OpStreamTotals totals(const OpStream &stream);
+
+} // namespace nvfs::prep

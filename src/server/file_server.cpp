@@ -1,0 +1,174 @@
+#include "server/file_server.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace nvfs::server {
+
+using workload::ServerOp;
+
+FileServer::FileServer(std::vector<std::string> fs_names,
+                       const ServerConfig &config)
+    : config_(config)
+{
+    NVFS_REQUIRE(!fs_names.empty(), "server needs file systems");
+    state_.reserve(fs_names.size());
+    for (auto &name : fs_names) {
+        auto fs = std::make_unique<FsState>(config_.lfs);
+        fs->stats.name = std::move(name);
+        state_.push_back(std::move(fs));
+    }
+}
+
+const FsStats &
+FileServer::stats(FsId fs) const
+{
+    NVFS_REQUIRE(fs < state_.size(), "bad fs id");
+    return state_[fs]->stats;
+}
+
+lfs::LfsLog &
+FileServer::log(FsId fs)
+{
+    NVFS_REQUIRE(fs < state_.size(), "bad fs id");
+    return state_[fs]->log;
+}
+
+std::uint64_t
+FileServer::totalDiskWrites() const
+{
+    std::uint64_t total = 0;
+    for (const auto &fs : state_)
+        total += fs->log.stats().segmentsWritten;
+    return total;
+}
+
+Bytes
+FileServer::totalDataBytes() const
+{
+    Bytes total = 0;
+    for (const auto &fs : state_)
+        total += fs->log.stats().dataBytes;
+    return total;
+}
+
+void
+FileServer::stageBlock(FsState &fs, const cache::BlockId &id, TimeUs now)
+{
+    const cache::CacheBlock block = fs.dirty.remove(id);
+    if (!block.isDirty())
+        return;
+    for (const auto &run : block.dirty.runs())
+        fs.log.writeBlockRange(id.file, id.index, run.begin, run.end);
+    if (fs.pendingSince == kNoTime && fs.log.pendingBytes() > 0)
+        fs.pendingSince = now;
+    if (fs.log.pendingBytes() == 0)
+        fs.pendingSince = kNoTime; // auto-sealed Full
+}
+
+void
+FileServer::sweep(FsState &fs, TimeUs now)
+{
+    // Flush volatile blocks older than the write-back age.
+    bool flushed = false;
+    for (const cache::BlockId &id :
+         fs.dirty.dirtyOlderThan(now - config_.writeBackAge)) {
+        stageBlock(fs, id, now);
+        flushed = true;
+    }
+    // Seal when volatile data was flushed.  NVRAM-buffered data does
+    // not age to disk on its own: "the writes would remain in the
+    // NVRAM buffer until a whole segment accumulated" — it rides out
+    // with the next natural flush or with an auto-sealed full segment.
+    if (flushed) {
+        if (fs.log.seal(lfs::SealCause::Timeout))
+            fs.pendingSince = kNoTime;
+    }
+    // On a bounded disk the garbage collector reclaims dead segments
+    // when free space runs low.
+    fs.cleaner.maybeClean(fs.log);
+}
+
+void
+FileServer::advanceClock(TimeUs now)
+{
+    while (lastSweep_ + config_.sweepInterval <= now) {
+        lastSweep_ += config_.sweepInterval;
+        for (auto &fs : state_)
+            sweep(*fs, lastSweep_);
+    }
+}
+
+void
+FileServer::run(const std::vector<ServerOp> &ops)
+{
+    const bool buffered = config_.nvramBufferBytes > 0;
+    TimeUs last = 0;
+
+    for (const ServerOp &op : ops) {
+        NVFS_REQUIRE(op.time >= last, "server ops out of order");
+        last = op.time;
+        advanceClock(op.time);
+        NVFS_REQUIRE(op.fs < state_.size(), "bad fs id in op");
+        FsState &fs = *state_[op.fs];
+
+        switch (op.kind) {
+          case ServerOp::Kind::Write: {
+            fs.stats.arrivedBytes += op.length;
+            // Scatter the range across 4 KB blocks in the dirty pool.
+            Bytes begin = op.offset;
+            const Bytes end = op.offset + op.length;
+            while (begin < end) {
+                const auto index = static_cast<std::uint32_t>(
+                    begin / kBlockSize);
+                const Bytes block_begin = begin % kBlockSize;
+                const Bytes block_end = std::min<Bytes>(
+                    kBlockSize, block_begin + (end - begin));
+                const cache::BlockId id{op.file, index};
+                if (!fs.dirty.contains(id))
+                    fs.dirty.insert(id, op.time);
+                fs.dirty.markDirty(id, block_begin, block_end, op.time);
+                begin += block_end - block_begin;
+            }
+            break;
+          }
+          case ServerOp::Kind::Fsync: {
+            ++fs.stats.fsyncs;
+            const auto blocks = fs.dirty.dirtyBlocksOfFile(op.file);
+            if (blocks.empty() && fs.log.pendingBytes() == 0)
+                break; // nothing to make durable
+            for (const cache::BlockId &id : blocks)
+                stageBlock(fs, id, op.time);
+            if (!buffered) {
+                // Synchronous partial-segment write.
+                if (fs.log.seal(lfs::SealCause::Fsync))
+                    fs.pendingSince = kNoTime;
+                break;
+            }
+            // Buffered: data is durable once in NVRAM.  Only write to
+            // disk if the buffer cannot hold the open segment.
+            const Bytes occupancy = fs.log.pendingBytes();
+            if (occupancy > config_.nvramBufferBytes) {
+                ++fs.stats.bufferOverflows;
+                if (fs.log.seal(lfs::SealCause::Fsync))
+                    fs.pendingSince = kNoTime;
+            } else {
+                ++fs.stats.fsyncsAbsorbed;
+            }
+            break;
+          }
+        }
+    }
+
+    // Drain: flush everything left so totals are comparable.
+    for (auto &fs : state_) {
+        for (const cache::BlockId &id : fs->dirty.allDirtyBlocks())
+            stageBlock(*fs, id, last);
+        fs->log.seal(lfs::SealCause::Shutdown);
+        fs->cleaner.maybeClean(fs->log);
+        fs->stats.log = fs->log.stats();
+    }
+}
+
+} // namespace nvfs::server

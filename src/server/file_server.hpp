@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The Sprite file server of Section 3: one LFS per file system, a
+ * volatile server cache with the 30-second delayed write-back swept
+ * every 5 seconds, application fsyncs that force partial segments,
+ * and (optionally) an NVRAM write buffer in front of each log.
+ *
+ * Without the buffer, an fsync immediately seals whatever dirty data
+ * the file has into a (usually partial) segment.  With the buffer,
+ * fsync'd data is safe the moment it reaches NVRAM: it rides in the
+ * open segment until a whole segment accumulates, the 30-second
+ * timeout writes it with the regular flush (one access instead of
+ * many), or the buffer overflows.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/block_cache.hpp"
+#include "lfs/cleaner.hpp"
+#include "lfs/log.hpp"
+#include "workload/server_workload.hpp"
+
+namespace nvfs::server {
+
+/** Server-wide configuration. */
+struct ServerConfig
+{
+    lfs::LfsConfig lfs;                      ///< per file system
+    TimeUs writeBackAge = 30 * kUsPerSecond; ///< dirty-data age limit
+    TimeUs sweepInterval = 5 * kUsPerSecond; ///< block-cleaner period
+    Bytes nvramBufferBytes = 0;              ///< 0 = no write buffer
+};
+
+/** Per-file-system results. */
+struct FsStats
+{
+    std::string name;
+    lfs::LogStats log;
+    Bytes arrivedBytes = 0;     ///< dirty data that reached the server
+    std::uint64_t fsyncs = 0;
+    std::uint64_t fsyncsAbsorbed = 0; ///< satisfied by NVRAM alone
+    std::uint64_t bufferOverflows = 0;
+
+    /** Disk write accesses (segment writes). */
+    std::uint64_t diskWrites() const { return log.segmentsWritten; }
+};
+
+/** Replays a server op stream against per-filesystem LFS instances. */
+class FileServer
+{
+  public:
+    /**
+     * @param fs_names one entry per file system (FsId = index)
+     * @param config shared configuration
+     */
+    FileServer(std::vector<std::string> fs_names,
+               const ServerConfig &config);
+
+    /** Replay a time-sorted op stream to completion. */
+    void run(const std::vector<workload::ServerOp> &ops);
+
+    /** Results after run(). */
+    const FsStats &stats(FsId fs) const;
+    std::size_t fsCount() const { return state_.size(); }
+
+    /** Sum of disk write accesses over all file systems. */
+    std::uint64_t totalDiskWrites() const;
+
+    /** Sum of data bytes over all file systems. */
+    Bytes totalDataBytes() const;
+
+    /** Direct log access (tests, the Figure 7 example). */
+    lfs::LfsLog &log(FsId fs);
+
+  private:
+    struct FsState
+    {
+        FsStats stats;
+        lfs::LfsLog log;
+        lfs::Cleaner cleaner;
+        /** Volatile dirty pool (unbounded; eviction not modeled). */
+        cache::BlockCache dirty{0};
+        /** When the open NVRAM segment started accumulating. */
+        TimeUs pendingSince = kNoTime;
+
+        explicit FsState(const lfs::LfsConfig &config) : log(config) {}
+    };
+
+    /** Flush blocks older than the write-back age; seal as Timeout. */
+    void sweep(FsState &fs, TimeUs now);
+
+    /** Advance the 5-second sweeper up to `now`. */
+    void advanceClock(TimeUs now);
+
+    /** Move one dirty block into the log's open segment. */
+    void stageBlock(FsState &fs, const cache::BlockId &id, TimeUs now);
+
+    ServerConfig config_;
+    std::vector<std::unique_ptr<FsState>> state_;
+    TimeUs lastSweep_ = 0;
+};
+
+} // namespace nvfs::server

@@ -1,0 +1,168 @@
+#include "trace/codec.hpp"
+
+#include <array>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace nvfs::trace {
+
+namespace {
+
+template <typename T>
+void
+putLE(std::uint8_t *&cursor, T value)
+{
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        *cursor++ = static_cast<std::uint8_t>(
+            static_cast<std::uint64_t>(value) >> (8 * i));
+    }
+}
+
+template <typename T>
+T
+getLE(const std::uint8_t *&cursor)
+{
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        value |= static_cast<std::uint64_t>(*cursor++) << (8 * i);
+    return static_cast<T>(value);
+}
+
+} // namespace
+
+void
+encodeEvent(const Event &event, std::ostream &out)
+{
+    std::array<std::uint8_t, kRecordSize> buf{};
+    std::uint8_t *cursor = buf.data();
+    putLE(cursor, static_cast<std::uint64_t>(event.time));
+    putLE(cursor, event.offset);
+    putLE(cursor, event.length);
+    putLE(cursor, event.file);
+    putLE(cursor, event.pid);
+    putLE(cursor, event.client);
+    putLE(cursor, event.targetClient);
+    putLE(cursor, static_cast<std::uint8_t>(event.type));
+    putLE(cursor, event.flags);
+    out.write(reinterpret_cast<const char *>(buf.data()), buf.size());
+}
+
+std::optional<Event>
+decodeEvent(std::istream &in)
+{
+    std::array<std::uint8_t, kRecordSize> buf{};
+    in.read(reinterpret_cast<char *>(buf.data()), buf.size());
+    if (in.gcount() == 0 && in.eof())
+        return std::nullopt;
+    if (static_cast<std::size_t>(in.gcount()) != buf.size())
+        util::fatal("truncated trace record");
+    const std::uint8_t *cursor = buf.data();
+    Event event;
+    event.time = static_cast<TimeUs>(getLE<std::uint64_t>(cursor));
+    event.offset = getLE<Bytes>(cursor);
+    event.length = getLE<Bytes>(cursor);
+    event.file = getLE<FileId>(cursor);
+    event.pid = getLE<ProcId>(cursor);
+    event.client = getLE<ClientId>(cursor);
+    event.targetClient = getLE<ClientId>(cursor);
+    const auto raw_type = getLE<std::uint8_t>(cursor);
+    if (raw_type > static_cast<std::uint8_t>(EventType::EndOfTrace))
+        util::fatal("corrupt trace record: bad event type");
+    event.type = static_cast<EventType>(raw_type);
+    event.flags = getLE<std::uint32_t>(cursor);
+    return event;
+}
+
+void
+encodeHeader(const TraceHeader &header, std::ostream &out)
+{
+    std::array<std::uint8_t, 32> buf{};
+    std::uint8_t *cursor = buf.data();
+    putLE(cursor, kTraceMagic);
+    putLE(cursor, header.version);
+    putLE(cursor, header.traceIndex);
+    putLE(cursor, header.clientCount);
+    putLE(cursor, static_cast<std::uint64_t>(header.duration));
+    putLE(cursor, header.eventCount);
+    out.write(reinterpret_cast<const char *>(buf.data()), buf.size());
+}
+
+TraceHeader
+decodeHeader(std::istream &in)
+{
+    std::array<std::uint8_t, 32> buf{};
+    in.read(reinterpret_cast<char *>(buf.data()), buf.size());
+    if (static_cast<std::size_t>(in.gcount()) != buf.size())
+        util::fatal("truncated trace header");
+    const std::uint8_t *cursor = buf.data();
+    if (getLE<std::uint32_t>(cursor) != kTraceMagic)
+        util::fatal("not an nvfs trace file (bad magic)");
+    TraceHeader header;
+    header.version = getLE<std::uint16_t>(cursor);
+    if (header.version != kTraceVersion)
+        util::fatal("unsupported trace version");
+    header.traceIndex = getLE<std::uint16_t>(cursor);
+    header.clientCount = getLE<std::uint32_t>(cursor);
+    header.duration = static_cast<TimeUs>(getLE<std::uint64_t>(cursor));
+    header.eventCount = getLE<std::uint64_t>(cursor);
+    return header;
+}
+
+std::optional<Event>
+parseTextEvent(const std::string &line)
+{
+    std::istringstream in(line);
+    long long time = 0;
+    std::string type_name;
+    if (!(in >> time >> type_name))
+        return std::nullopt; // blank line
+    if (type_name.empty() || type_name[0] == '#')
+        return std::nullopt;
+
+    Event event;
+    event.time = time;
+    bool known = false;
+    for (int t = 0; t <= static_cast<int>(EventType::EndOfTrace); ++t) {
+        if (eventTypeName(static_cast<EventType>(t)) == type_name) {
+            event.type = static_cast<EventType>(t);
+            known = true;
+            break;
+        }
+    }
+    if (!known)
+        util::fatal("unknown event type '" + type_name + "'");
+
+    std::string field;
+    while (in >> field) {
+        const auto eq = field.find('=');
+        if (eq == std::string::npos)
+            util::fatal("malformed field '" + field + "'");
+        const std::string key = field.substr(0, eq);
+        const unsigned long long value =
+            std::stoull(field.substr(eq + 1));
+        if (key == "client") {
+            event.client = static_cast<ClientId>(value);
+        } else if (key == "pid") {
+            event.pid = static_cast<ProcId>(value);
+        } else if (key == "file") {
+            event.file = static_cast<FileId>(value);
+        } else if (key == "off") {
+            event.offset = value;
+        } else if (key == "len") {
+            event.length = value;
+        } else if (key == "flags") {
+            event.flags = static_cast<std::uint32_t>(value);
+        } else if (key == "target") {
+            event.targetClient = static_cast<ClientId>(value);
+        } else {
+            util::fatal("unknown field '" + key + "'");
+        }
+    }
+    return event;
+}
+
+} // namespace nvfs::trace

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Binary and text serialization for trace events.
+ *
+ * The binary format is a magic/version header followed by fixed-width
+ * little-endian records; the text format is one whitespace-delimited
+ * line per event (the output of toString()).  Both round-trip exactly.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace nvfs::trace {
+
+/** Magic bytes at the start of a binary trace file. */
+inline constexpr std::uint32_t kTraceMagic = 0x4e564653; // "NVFS"
+
+/** Current binary format version. */
+inline constexpr std::uint16_t kTraceVersion = 1;
+
+/** Metadata stored in the binary header. */
+struct TraceHeader
+{
+    std::uint16_t version = kTraceVersion;
+    std::uint16_t traceIndex = 0; ///< which of the 8 traces (0-based)
+    std::uint32_t clientCount = 0;
+    TimeUs duration = 0;
+    std::uint64_t eventCount = 0;
+
+    bool operator==(const TraceHeader &other) const = default;
+};
+
+/** Serialize one event into exactly kRecordSize bytes. */
+void encodeEvent(const Event &event, std::ostream &out);
+
+/** Deserialize one event; nullopt at clean EOF, fatal on corruption. */
+std::optional<Event> decodeEvent(std::istream &in);
+
+/** Size in bytes of one encoded record. */
+inline constexpr std::size_t kRecordSize = 8 + 8 + 8 + 4 + 4 + 2 + 2 + 1 +
+                                           4 + 3; // padded to 44
+
+/** Write the header. */
+void encodeHeader(const TraceHeader &header, std::ostream &out);
+
+/** Read and validate the header; fatal on bad magic/version. */
+TraceHeader decodeHeader(std::istream &in);
+
+/** Parse one text-format line; nullopt for blank/comment lines. */
+std::optional<Event> parseTextEvent(const std::string &line);
+
+} // namespace nvfs::trace

@@ -1,0 +1,42 @@
+#include "trace/event.hpp"
+
+#include "util/table.hpp"
+
+namespace nvfs::trace {
+
+std::string
+eventTypeName(EventType type)
+{
+    switch (type) {
+      case EventType::Open: return "open";
+      case EventType::Close: return "close";
+      case EventType::Seek: return "seek";
+      case EventType::Read: return "read";
+      case EventType::Write: return "write";
+      case EventType::Delete: return "delete";
+      case EventType::Truncate: return "truncate";
+      case EventType::Fsync: return "fsync";
+      case EventType::Migrate: return "migrate";
+      case EventType::EndOfTrace: return "end";
+    }
+    return "unknown";
+}
+
+std::string
+toString(const Event &event)
+{
+    return util::format(
+        "%lld %s client=%u pid=%u file=%u off=%llu len=%llu flags=%u "
+        "target=%u",
+        static_cast<long long>(event.time),
+        eventTypeName(event.type).c_str(),
+        static_cast<unsigned>(event.client),
+        static_cast<unsigned>(event.pid),
+        static_cast<unsigned>(event.file),
+        static_cast<unsigned long long>(event.offset),
+        static_cast<unsigned long long>(event.length),
+        static_cast<unsigned>(event.flags),
+        static_cast<unsigned>(event.targetClient));
+}
+
+} // namespace nvfs::trace

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Raw trace events, modeled on the Sprite kernel trace records of
+ * Baker et al. [1] / [16].
+ *
+ * Two dialects exist:
+ *
+ *  - **Explicit**: the generator emits Read/Write events directly.
+ *    This is richer than what the Sprite tracing code recorded.
+ *  - **Sprite-compat**: only Open/Seek/Close (plus Delete/Truncate/
+ *    Fsync/Migrate) are emitted, each carrying the *current file
+ *    offset*.  Read and write amounts must be reconstructed from
+ *    offset movement, exactly the deduction step the paper describes
+ *    ("the current file offset appears in each of these events, making
+ *    it possible to deduce the order and amount of read and write
+ *    traffic").  See prep/converter.hpp.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace nvfs::trace {
+
+/** Kind of a raw trace event. */
+enum class EventType : std::uint8_t {
+    Open = 0,    ///< open a file; flags carry the access mode
+    Close,       ///< close a file; offset = final file offset
+    Seek,        ///< reposition; offset = offset after the seek
+    Read,        ///< explicit dialect only: read [offset, offset+length)
+    Write,       ///< explicit dialect only: write [offset, offset+length)
+    Delete,      ///< unlink the file
+    Truncate,    ///< truncate the file to `length` bytes
+    Fsync,       ///< application fsync of the file
+    Migrate,     ///< process migrates from `client` to `targetClient`
+    EndOfTrace,  ///< sentinel closing a trace stream
+};
+
+/** Open/access-mode flag bits stored in Event::flags. */
+enum OpenFlags : std::uint32_t {
+    kOpenRead = 1u << 0,     ///< opened for reading
+    kOpenWrite = 1u << 1,    ///< opened for writing
+    kOpenAppend = 1u << 2,   ///< positioned at EOF on open
+    kOpenCreate = 1u << 3,   ///< file created by this open
+    kOpenTruncate = 1u << 4, ///< file truncated to zero by this open
+};
+
+/**
+ * One raw trace record.  Fixed-size POD so the binary codec is a
+ * simple field-by-field little-endian encode.
+ */
+struct Event
+{
+    TimeUs time = 0;        ///< microseconds since trace start
+    Bytes offset = 0;       ///< file offset (meaning depends on type)
+    Bytes length = 0;       ///< byte count / truncate size
+    FileId file = kNoFile;  ///< subject file
+    ProcId pid = 0;         ///< issuing process
+    ClientId client = 0;    ///< issuing client workstation
+    ClientId targetClient = 0; ///< Migrate only: destination client
+    EventType type = EventType::EndOfTrace;
+    std::uint32_t flags = 0;
+
+    bool operator==(const Event &other) const = default;
+};
+
+/** Human-readable name of an event type. */
+std::string eventTypeName(EventType type);
+
+/** One-line textual rendering (the text codec's format). */
+std::string toString(const Event &event);
+
+} // namespace nvfs::trace

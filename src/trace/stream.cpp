@@ -1,0 +1,79 @@
+#include "trace/stream.hpp"
+
+#include <fstream>
+
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace nvfs::trace {
+
+void
+writeTraceFile(const std::string &path, const TraceBuffer &buffer)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        util::fatal("cannot open trace file for writing: " + path);
+    TraceHeader header = buffer.header;
+    header.eventCount = buffer.events.size();
+    encodeHeader(header, out);
+    for (const Event &event : buffer.events)
+        encodeEvent(event, out);
+    if (!out)
+        util::fatal("I/O error writing trace file: " + path);
+}
+
+TraceBuffer
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        util::fatal("cannot open trace file: " + path);
+    TraceBuffer buffer;
+    buffer.header = decodeHeader(in);
+    buffer.events.reserve(buffer.header.eventCount);
+    while (auto event = decodeEvent(in))
+        buffer.events.push_back(*event);
+    if (buffer.events.size() != buffer.header.eventCount) {
+        util::fatal(util::format(
+            "trace %s: header claims %llu events, found %zu",
+            path.c_str(),
+            static_cast<unsigned long long>(buffer.header.eventCount),
+            buffer.events.size()));
+    }
+    return buffer;
+}
+
+void
+writeTraceText(const std::string &path, const TraceBuffer &buffer)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        util::fatal("cannot open trace file for writing: " + path);
+    out << "# nvfs trace " << buffer.header.traceIndex << " clients="
+        << buffer.header.clientCount << " duration="
+        << buffer.header.duration << "\n";
+    for (const Event &event : buffer.events)
+        out << toString(event) << "\n";
+    if (!out)
+        util::fatal("I/O error writing trace text: " + path);
+}
+
+TraceBuffer
+readTraceText(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("cannot open trace file: " + path);
+    TraceBuffer buffer;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] == '#')
+            continue;
+        if (auto event = parseTextEvent(line))
+            buffer.events.push_back(*event);
+    }
+    buffer.header.eventCount = buffer.events.size();
+    return buffer;
+}
+
+} // namespace nvfs::trace

@@ -1,0 +1,105 @@
+#include "trace/validate.hpp"
+
+#include <map>
+#include <set>
+
+#include "util/table.hpp"
+
+namespace nvfs::trace {
+
+namespace {
+
+/** Key identifying an open-file instance. */
+struct OpenKey
+{
+    ClientId client;
+    ProcId pid;
+    FileId file;
+
+    auto operator<=>(const OpenKey &other) const = default;
+};
+
+} // namespace
+
+ValidationReport
+validateTrace(const TraceBuffer &buffer)
+{
+    ValidationReport report;
+    auto issue = [&](std::size_t idx, std::string msg) {
+        report.issues.push_back({idx, std::move(msg)});
+    };
+
+    TimeUs last_time = 0;
+    std::map<OpenKey, int> open_counts;
+    bool saw_end = false;
+
+    for (std::size_t i = 0; i < buffer.events.size(); ++i) {
+        const Event &e = buffer.events[i];
+        ++report.eventsChecked;
+
+        if (saw_end)
+            issue(i, "event after EndOfTrace");
+        if (e.time < last_time)
+            issue(i, util::format("time went backwards (%lld < %lld)",
+                                  static_cast<long long>(e.time),
+                                  static_cast<long long>(last_time)));
+        last_time = e.time;
+
+        const OpenKey key{e.client, e.pid, e.file};
+        switch (e.type) {
+          case EventType::Open:
+            if (!(e.flags & (kOpenRead | kOpenWrite)))
+                issue(i, "open without read or write mode");
+            ++open_counts[key];
+            break;
+          case EventType::Close:
+            if (open_counts[key] <= 0)
+                issue(i, "close without matching open");
+            else
+                --open_counts[key];
+            break;
+          case EventType::Seek:
+          case EventType::Read:
+          case EventType::Write:
+          case EventType::Fsync:
+            if (open_counts[key] <= 0) {
+                issue(i, util::format("%s on file %u not open by "
+                                      "client %u pid %u",
+                                      eventTypeName(e.type).c_str(),
+                                      static_cast<unsigned>(e.file),
+                                      static_cast<unsigned>(e.client),
+                                      static_cast<unsigned>(e.pid)));
+            }
+            break;
+          case EventType::Delete:
+          case EventType::Truncate:
+            break; // legal whether or not the file is open
+          case EventType::Migrate:
+            if (e.targetClient == e.client)
+                issue(i, "migrate to the same client");
+            break;
+          case EventType::EndOfTrace:
+            saw_end = true;
+            break;
+        }
+
+        if (e.type == EventType::Read || e.type == EventType::Write) {
+            if (e.length == 0)
+                issue(i, "zero-length I/O");
+        }
+    }
+
+    for (const auto &[key, count] : open_counts) {
+        if (count > 0) {
+            issue(buffer.events.size(),
+                  util::format("file %u left open by client %u pid %u "
+                               "at end of trace",
+                               static_cast<unsigned>(key.file),
+                               static_cast<unsigned>(key.client),
+                               static_cast<unsigned>(key.pid)));
+        }
+    }
+    return report;
+}
+
+} // namespace nvfs::trace

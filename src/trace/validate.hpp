@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Structural validation of a trace: time monotonicity, matched
+ * open/close pairs, offsets within files, sane flags.  The workload
+ * generator is tested against this, and foreign traces imported in
+ * text form are validated before simulation.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/stream.hpp"
+
+namespace nvfs::trace {
+
+/** One validation problem. */
+struct ValidationIssue
+{
+    std::size_t eventIndex;
+    std::string message;
+};
+
+/** Result of validating a trace. */
+struct ValidationReport
+{
+    std::vector<ValidationIssue> issues;
+    std::size_t eventsChecked = 0;
+
+    bool ok() const { return issues.empty(); }
+};
+
+/**
+ * Validate a trace buffer.
+ *
+ * Checks: non-decreasing timestamps; Read/Write/Seek/Fsync only on
+ * files the process has open; Close matches a prior Open; Open flags
+ * include at least one of read/write; Migrate target differs from the
+ * source client; EndOfTrace, if present, is last.
+ */
+ValidationReport validateTrace(const TraceBuffer &buffer);
+
+} // namespace nvfs::trace

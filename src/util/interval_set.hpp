@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Byte-range interval containers.
+ *
+ * IntervalSet tracks a set of disjoint half-open ranges [begin, end) of
+ * bytes, coalescing on insert.  IntervalMap associates a value with
+ * each range (used by the lifetime tracker to remember when every live
+ * byte run was written).  Both are the workhorses behind the
+ * byte-accurate accounting the paper's simulator performs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/types.hpp"
+
+namespace nvfs::util {
+
+/** A half-open byte range [begin, end). */
+struct ByteRange
+{
+    Bytes begin = 0;
+    Bytes end = 0;
+
+    Bytes length() const { return end - begin; }
+    bool empty() const { return end <= begin; }
+    bool operator==(const ByteRange &other) const = default;
+};
+
+/**
+ * A set of disjoint, coalesced half-open byte ranges.
+ *
+ * Insert/erase are O(log n + k) where k is the number of overlapped
+ * ranges.  Iteration yields ranges in increasing order.
+ */
+class IntervalSet
+{
+  public:
+    /** Add [begin, end), merging with any adjacent/overlapping runs. */
+    void
+    insert(Bytes begin, Bytes end)
+    {
+        if (end <= begin)
+            return;
+        // Find the first range that could touch [begin, end).
+        auto it = ranges_.lower_bound(begin);
+        if (it != ranges_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second >= begin)
+                it = prev;
+        }
+        Bytes new_begin = begin;
+        Bytes new_end = end;
+        while (it != ranges_.end() && it->first <= new_end) {
+            new_begin = std::min(new_begin, it->first);
+            new_end = std::max(new_end, it->second);
+            it = ranges_.erase(it);
+        }
+        ranges_.emplace(new_begin, new_end);
+        recount();
+    }
+
+    /** Remove [begin, end) from the set, splitting runs as needed. */
+    void
+    erase(Bytes begin, Bytes end)
+    {
+        if (end <= begin)
+            return;
+        auto it = ranges_.lower_bound(begin);
+        if (it != ranges_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second > begin)
+                it = prev;
+        }
+        std::vector<std::pair<Bytes, Bytes>> to_add;
+        while (it != ranges_.end() && it->first < end) {
+            const Bytes rb = it->first;
+            const Bytes re = it->second;
+            it = ranges_.erase(it);
+            if (rb < begin)
+                to_add.emplace_back(rb, begin);
+            if (re > end)
+                to_add.emplace_back(end, re);
+        }
+        for (const auto &[b, e] : to_add)
+            ranges_.emplace(b, e);
+        recount();
+    }
+
+    /** Total bytes covered. */
+    Bytes totalBytes() const { return total_; }
+
+    /** Bytes of [begin, end) covered by the set. */
+    Bytes
+    overlapBytes(Bytes begin, Bytes end) const
+    {
+        if (end <= begin)
+            return 0;
+        Bytes covered = 0;
+        auto it = ranges_.lower_bound(begin);
+        if (it != ranges_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second > begin)
+                it = prev;
+        }
+        for (; it != ranges_.end() && it->first < end; ++it) {
+            const Bytes b = std::max(begin, it->first);
+            const Bytes e = std::min(end, it->second);
+            if (e > b)
+                covered += e - b;
+        }
+        return covered;
+    }
+
+    /** True when nothing is covered. */
+    bool empty() const { return ranges_.empty(); }
+
+    /** Number of disjoint runs. */
+    std::size_t runCount() const { return ranges_.size(); }
+
+    /** Remove everything. */
+    void
+    clear()
+    {
+        ranges_.clear();
+        total_ = 0;
+    }
+
+    /** Snapshot of the runs in increasing order. */
+    std::vector<ByteRange>
+    runs() const
+    {
+        std::vector<ByteRange> out;
+        out.reserve(ranges_.size());
+        for (const auto &[b, e] : ranges_)
+            out.push_back({b, e});
+        return out;
+    }
+
+  private:
+    void
+    recount()
+    {
+        total_ = 0;
+        for (const auto &[b, e] : ranges_)
+            total_ += e - b;
+    }
+
+    std::map<Bytes, Bytes> ranges_; // begin -> end
+    Bytes total_ = 0;
+};
+
+/**
+ * A map from disjoint byte ranges to values of type T.
+ *
+ * Inserting a range overwrites whatever it overlaps; the overwritten
+ * pieces are reported to a callback so the caller can account for
+ * them (e.g. the lifetime tracker records a byte-run death).  Adjacent
+ * ranges with equal values are NOT coalesced — each written run keeps
+ * its own identity (its own write timestamp).
+ */
+template <typename T>
+class IntervalMap
+{
+  public:
+    /** A mapped run. */
+    struct Entry
+    {
+        Bytes begin;
+        Bytes end;
+        T value;
+    };
+
+    /** Callback invoked with every (sub)run displaced by an update. */
+    using DisplacedFn = std::function<void(Bytes, Bytes, const T &)>;
+
+    /**
+     * Map [begin, end) to `value`, displacing any overlapped pieces.
+     * @param on_displaced invoked once per displaced sub-run.
+     */
+    void
+    assign(Bytes begin, Bytes end, T value,
+           const DisplacedFn &on_displaced = nullptr)
+    {
+        if (end <= begin)
+            return;
+        eraseInternal(begin, end, on_displaced);
+        map_.emplace(begin, Node{end, std::move(value)});
+    }
+
+    /** Remove [begin, end); displaced pieces go to the callback. */
+    void
+    erase(Bytes begin, Bytes end, const DisplacedFn &on_displaced = nullptr)
+    {
+        if (end <= begin)
+            return;
+        eraseInternal(begin, end, on_displaced);
+    }
+
+    /** Remove everything; displaced pieces go to the callback. */
+    void
+    clear(const DisplacedFn &on_displaced = nullptr)
+    {
+        if (on_displaced) {
+            for (const auto &[b, node] : map_)
+                on_displaced(b, node.end, node.value);
+        }
+        map_.clear();
+    }
+
+    /** Visit every run overlapping [begin, end), clipped to it. */
+    void
+    forEachIn(Bytes begin, Bytes end,
+              const std::function<void(Bytes, Bytes, const T &)> &fn) const
+    {
+        if (end <= begin)
+            return;
+        auto it = map_.lower_bound(begin);
+        if (it != map_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.end > begin)
+                it = prev;
+        }
+        for (; it != map_.end() && it->first < end; ++it) {
+            const Bytes b = std::max(begin, it->first);
+            const Bytes e = std::min(end, it->second.end);
+            if (e > b)
+                fn(b, e, it->second.value);
+        }
+    }
+
+    /** Total bytes currently mapped. */
+    Bytes
+    totalBytes() const
+    {
+        Bytes total = 0;
+        for (const auto &[b, node] : map_)
+            total += node.end - b;
+        return total;
+    }
+
+    /** Number of runs. */
+    std::size_t runCount() const { return map_.size(); }
+
+    /** True when nothing is mapped. */
+    bool empty() const { return map_.empty(); }
+
+    /** Snapshot of all runs in order. */
+    std::vector<Entry>
+    entries() const
+    {
+        std::vector<Entry> out;
+        out.reserve(map_.size());
+        for (const auto &[b, node] : map_)
+            out.push_back({b, node.end, node.value});
+        return out;
+    }
+
+  private:
+    struct Node
+    {
+        Bytes end;
+        T value;
+    };
+
+    void
+    eraseInternal(Bytes begin, Bytes end, const DisplacedFn &on_displaced)
+    {
+        auto it = map_.lower_bound(begin);
+        if (it != map_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.end > begin)
+                it = prev;
+        }
+        std::vector<std::pair<Bytes, Node>> to_add;
+        while (it != map_.end() && it->first < end) {
+            const Bytes rb = it->first;
+            const Bytes re = it->second.end;
+            T value = std::move(it->second.value);
+            it = map_.erase(it);
+            // Keep the non-overlapped flanks with the same value.
+            if (rb < begin)
+                to_add.emplace_back(rb, Node{begin, value});
+            if (re > end)
+                to_add.emplace_back(end, Node{re, value});
+            if (on_displaced) {
+                const Bytes db = std::max(rb, begin);
+                const Bytes de = std::min(re, end);
+                if (de > db)
+                    on_displaced(db, de, value);
+            }
+        }
+        for (auto &[b, node] : to_add)
+            map_.emplace(b, std::move(node));
+    }
+
+    std::map<Bytes, Node> map_; // begin -> (end, value)
+};
+
+} // namespace nvfs::util

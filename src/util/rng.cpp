@@ -1,0 +1,186 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace nvfs::util {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t state = seed;
+    for (auto &word : s_)
+        word = splitmix64(state);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    NVFS_REQUIRE(lo <= hi, "uniformInt bounds inverted");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0)
+        return next(); // full 64-bit range
+    return lo + next() % span;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal()
+{
+    double u1 = uniform();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(mu + sigma * normal());
+}
+
+double
+Rng::boundedPareto(double alpha, double lo, double hi)
+{
+    NVFS_REQUIRE(lo > 0.0 && hi > lo, "boundedPareto bounds");
+    const double u = uniform();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    NVFS_REQUIRE(n > 0, "zipf over empty range");
+    if (n == 1)
+        return 0;
+    // Inverse-CDF approximation of a Zipf(s) rank distribution using
+    // the continuous analogue; accurate enough for popularity skew.
+    const double u = uniform();
+    if (s == 1.0) {
+        const double h = std::log(static_cast<double>(n) + 1.0);
+        const double r = std::exp(u * h) - 1.0;
+        const auto rank = static_cast<std::uint64_t>(r);
+        return rank >= n ? n - 1 : rank;
+    }
+    const double one_minus = 1.0 - s;
+    const double nmax = std::pow(static_cast<double>(n) + 1.0, one_minus);
+    const double r = std::pow(u * (nmax - 1.0) + 1.0, 1.0 / one_minus) - 1.0;
+    const auto rank = static_cast<std::uint64_t>(r);
+    return rank >= n ? n - 1 : rank;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+MixtureSampler::MixtureSampler(std::vector<Component> components)
+    : components_(std::move(components))
+{
+    NVFS_REQUIRE(!components_.empty(), "mixture needs components");
+    double total = 0.0;
+    for (const auto &c : components_) {
+        NVFS_REQUIRE(c.weight >= 0.0, "negative mixture weight");
+        total += c.weight;
+    }
+    NVFS_REQUIRE(total > 0.0, "mixture weights sum to zero");
+    double running = 0.0;
+    cumulative_.reserve(components_.size());
+    for (const auto &c : components_) {
+        running += c.weight / total;
+        cumulative_.push_back(running);
+    }
+    cumulative_.back() = 1.0;
+}
+
+double
+MixtureSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    std::size_t idx = 0;
+    while (idx + 1 < cumulative_.size() && u >= cumulative_[idx])
+        ++idx;
+    const Component &c = components_[idx];
+    switch (c.kind) {
+      case Kind::Exponential:
+        return rng.exponential(c.param0);
+      case Kind::LogNormal:
+        return rng.logNormal(c.param0, c.param1);
+      case Kind::Constant:
+        return c.param0;
+      case Kind::Infinite:
+        return 1e18;
+    }
+    panic("unreachable mixture kind");
+}
+
+} // namespace nvfs::util

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deterministic random-number generation and the distributions used by
+ * the synthetic workload generator.
+ *
+ * All simulator randomness flows through Rng so that every experiment
+ * is exactly reproducible from its seed.  The generator is
+ * xoshiro256** seeded through splitmix64, which is both fast and has
+ * no observable correlations at the scales we use.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace nvfs::util {
+
+/** Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64). */
+class Rng
+{
+  public:
+    /** Construct from a seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p);
+
+    /** Exponentially distributed value with the given mean. */
+    double exponential(double mean);
+
+    /** Log-normally distributed value given the mean/sigma of ln X. */
+    double logNormal(double mu, double sigma);
+
+    /** Standard normal via Box–Muller. */
+    double normal();
+
+    /**
+     * Bounded Pareto sample in [lo, hi] with shape alpha.  Used for
+     * heavy-tailed file sizes.
+     */
+    double boundedPareto(double alpha, double lo, double hi);
+
+    /**
+     * Zipf-like rank in [0, n) with exponent s (rank 0 most popular).
+     * Uses the rejection-free approximation adequate for workload
+     * popularity skews.
+     */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+    /** Derive an independent child generator (for parallel streams). */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * A discrete mixture over lifetime classes: with weight w_i draw from
+ * component i.  Components are (weight, sampler-kind, params); this is
+ * the primitive behind the per-trace byte-lifetime calibration
+ * (Figure 2 of the paper).
+ */
+class MixtureSampler
+{
+  public:
+    /** Kinds of mixture components. */
+    enum class Kind {
+        Exponential, ///< param0 = mean
+        LogNormal,   ///< param0 = mu of ln X, param1 = sigma of ln X
+        Constant,    ///< param0 = the value itself
+        Infinite,    ///< never happens (returns a huge value)
+    };
+
+    /** One weighted component. */
+    struct Component
+    {
+        double weight;
+        Kind kind;
+        double param0;
+        double param1;
+    };
+
+    /** Construct from components; weights are normalized internally. */
+    explicit MixtureSampler(std::vector<Component> components);
+
+    /** Draw one value. */
+    double sample(Rng &rng) const;
+
+    /** Number of components. */
+    std::size_t size() const { return components_.size(); }
+
+  private:
+    std::vector<Component> components_;
+    std::vector<double> cumulative_;
+};
+
+} // namespace nvfs::util

@@ -1,0 +1,157 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/log.hpp"
+
+namespace nvfs::util {
+
+void
+Accumulator::add(double value)
+{
+    add(value, 1.0);
+}
+
+void
+Accumulator::add(double value, double weight)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    weight_ += weight;
+    sum_ += value * weight;
+    sumSquares_ += value * value * weight;
+}
+
+double
+Accumulator::mean() const
+{
+    return weight_ > 0.0 ? sum_ / weight_ : 0.0;
+}
+
+double
+Accumulator::variance() const
+{
+    if (weight_ <= 0.0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSquares_ / weight_ - m * m;
+    return var > 0.0 ? var : 0.0;
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    count_ += other.count_;
+    weight_ += other.weight_;
+    sum_ += other.sum_;
+    sumSquares_ += other.sumSquares_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+LogHistogram::LogHistogram(double lo, double hi, int buckets_per_decade)
+{
+    NVFS_REQUIRE(lo > 0.0 && hi > lo, "LogHistogram bounds");
+    NVFS_REQUIRE(buckets_per_decade > 0, "LogHistogram resolution");
+    const double decades = std::log10(hi / lo);
+    const int buckets =
+        std::max(1, static_cast<int>(std::ceil(decades *
+                                               buckets_per_decade)));
+    edges_.reserve(buckets + 1);
+    for (int i = 0; i <= buckets; ++i)
+        edges_.push_back(lo * std::pow(10.0, decades * i / buckets));
+    weights_.assign(buckets, 0.0);
+}
+
+std::size_t
+LogHistogram::bucketFor(double value) const
+{
+    // Binary search over edges; caller has excluded under/overflow.
+    auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+    const std::size_t idx = static_cast<std::size_t>(it - edges_.begin());
+    return idx == 0 ? 0 : idx - 1;
+}
+
+void
+LogHistogram::add(double value, double weight)
+{
+    total_ += weight;
+    if (value < edges_.front()) {
+        underflow_ += weight;
+        return;
+    }
+    if (value >= edges_.back()) {
+        overflow_ += weight;
+        return;
+    }
+    weights_[std::min(bucketFor(value), weights_.size() - 1)] += weight;
+}
+
+double
+LogHistogram::cumulativeAtOrBelow(double value) const
+{
+    if (value < edges_.front())
+        return 0.0;
+    double cum = underflow_;
+    if (value >= edges_.back())
+        return total_;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+        if (edges_[i + 1] <= value) {
+            cum += weights_[i];
+        } else {
+            // Pro-rate within the bucket (log-linear interpolation).
+            const double lo = edges_[i];
+            const double hi = edges_[i + 1];
+            if (value > lo) {
+                const double frac = std::log(value / lo) /
+                                    std::log(hi / lo);
+                cum += weights_[i] * frac;
+            }
+            break;
+        }
+    }
+    return cum;
+}
+
+double
+LogHistogram::fractionAtOrBelow(double value) const
+{
+    return total_ > 0.0 ? cumulativeAtOrBelow(value) / total_ : 0.0;
+}
+
+double
+percent(double part, double whole)
+{
+    return whole != 0.0 ? 100.0 * part / whole : 0.0;
+}
+
+std::string
+percentString(double part, double whole, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals,
+                  percent(part, whole));
+    return buf;
+}
+
+} // namespace nvfs::util

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Statistics accumulators used by the simulators and the benchmark
+ * harnesses: a running scalar accumulator, a log-bucketed histogram,
+ * and a percentage helper.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace nvfs::util {
+
+/** Running count/sum/min/max/mean/variance of a scalar series. */
+class Accumulator
+{
+  public:
+    /** Add one observation. */
+    void add(double value);
+
+    /** Add a weighted observation (weight acts as a repeat count). */
+    void add(double value, double weight);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    /** Population variance (0 when fewer than 2 observations). */
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const Accumulator &other);
+
+  private:
+    std::uint64_t count_ = 0;
+    double weight_ = 0.0;
+    double sum_ = 0.0;
+    double sumSquares_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Histogram with logarithmically spaced buckets, suited to byte
+ * lifetimes spanning milliseconds to days (Figure 2's log axis).
+ */
+class LogHistogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first bucket (must be > 0)
+     * @param hi upper edge of the last bucket
+     * @param buckets_per_decade resolution
+     */
+    LogHistogram(double lo, double hi, int buckets_per_decade = 8);
+
+    /** Record a value with an optional weight. */
+    void add(double value, double weight = 1.0);
+
+    /** Total recorded weight. */
+    double totalWeight() const { return total_; }
+
+    /** Weight recorded at or below `value` (inclusive CDF). */
+    double cumulativeAtOrBelow(double value) const;
+
+    /** Fraction of weight at or below `value`; 0 if empty. */
+    double fractionAtOrBelow(double value) const;
+
+    /** Bucket boundaries (size = bucket count + 1). */
+    const std::vector<double> &edges() const { return edges_; }
+
+    /** Per-bucket weights. */
+    const std::vector<double> &weights() const { return weights_; }
+
+  private:
+    std::size_t bucketFor(double value) const;
+
+    std::vector<double> edges_;
+    std::vector<double> weights_;
+    double underflow_ = 0.0;
+    double overflow_ = 0.0;
+    double total_ = 0.0;
+};
+
+/** Format `part/whole` as a percentage string like "42.3". */
+std::string percentString(double part, double whole, int decimals = 2);
+
+/** part/whole * 100, 0 when whole == 0. */
+double percent(double part, double whole);
+
+} // namespace nvfs::util

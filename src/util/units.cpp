@@ -1,0 +1,125 @@
+#include "util/units.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace nvfs::util {
+
+std::string
+formatBytes(Bytes bytes)
+{
+    char buf[64];
+    if (bytes >= kMiB && bytes % kMiB == 0) {
+        std::snprintf(buf, sizeof(buf), "%llu MB",
+                      static_cast<unsigned long long>(bytes / kMiB));
+    } else if (bytes >= kMiB) {
+        std::snprintf(buf, sizeof(buf), "%.2f MB", toMiB(bytes));
+    } else if (bytes >= kKiB) {
+        std::snprintf(buf, sizeof(buf), "%.4g KB",
+                      static_cast<double>(bytes) / kKiB);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+std::string
+formatDuration(TimeUs us)
+{
+    char buf[64];
+    const double seconds = static_cast<double>(us) / kUsPerSecond;
+    if (seconds >= 3600.0) {
+        std::snprintf(buf, sizeof(buf), "%.4g h", seconds / 3600.0);
+    } else if (seconds >= 60.0) {
+        std::snprintf(buf, sizeof(buf), "%.4g min", seconds / 60.0);
+    } else if (seconds >= 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.4g s", seconds);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.4g ms", seconds * 1000.0);
+    }
+    return buf;
+}
+
+namespace {
+
+// Parses leading float and returns suffix start.
+double
+parseNumber(const std::string &text, std::size_t &pos)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str())
+        fatal("cannot parse number from '" + text + "'");
+    pos = static_cast<std::size_t>(end - text.c_str());
+    return value;
+}
+
+std::string
+lowerSuffix(const std::string &text, std::size_t pos)
+{
+    std::string suffix;
+    for (; pos < text.size(); ++pos) {
+        const char c = text[pos];
+        if (std::isspace(static_cast<unsigned char>(c)))
+            continue;
+        suffix.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    }
+    return suffix;
+}
+
+} // namespace
+
+Bytes
+parseBytes(const std::string &text)
+{
+    std::size_t pos = 0;
+    const double value = parseNumber(text, pos);
+    const std::string suffix = lowerSuffix(text, pos);
+    double scale = 1.0;
+    if (suffix.empty() || suffix == "b") {
+        scale = 1.0;
+    } else if (suffix == "k" || suffix == "kb" || suffix == "kib") {
+        scale = static_cast<double>(kKiB);
+    } else if (suffix == "m" || suffix == "mb" || suffix == "mib") {
+        scale = static_cast<double>(kMiB);
+    } else if (suffix == "g" || suffix == "gb" || suffix == "gib") {
+        scale = static_cast<double>(kMiB) * 1024.0;
+    } else {
+        fatal("unknown byte suffix '" + suffix + "'");
+    }
+    const double bytes = value * scale;
+    if (bytes < 0.0)
+        fatal("negative byte size '" + text + "'");
+    return static_cast<Bytes>(std::llround(bytes));
+}
+
+TimeUs
+parseDuration(const std::string &text)
+{
+    std::size_t pos = 0;
+    const double value = parseNumber(text, pos);
+    const std::string suffix = lowerSuffix(text, pos);
+    double scale = static_cast<double>(kUsPerSecond);
+    if (suffix.empty() || suffix == "s" || suffix == "sec") {
+        scale = static_cast<double>(kUsPerSecond);
+    } else if (suffix == "ms") {
+        scale = 1000.0;
+    } else if (suffix == "us") {
+        scale = 1.0;
+    } else if (suffix == "min" || suffix == "m") {
+        scale = static_cast<double>(kUsPerMinute);
+    } else if (suffix == "h" || suffix == "hr") {
+        scale = static_cast<double>(kUsPerHour);
+    } else {
+        fatal("unknown duration suffix '" + suffix + "'");
+    }
+    return static_cast<TimeUs>(std::llround(value * scale));
+}
+
+} // namespace nvfs::util

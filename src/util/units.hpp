@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Human-readable formatting and parsing of byte sizes and durations.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace nvfs::util {
+
+/** "4 KB", "1.50 MB", "512 B" — power-of-two units. */
+std::string formatBytes(Bytes bytes);
+
+/** "30 s", "2.5 min", "1.2 h" as appropriate. */
+std::string formatDuration(TimeUs us);
+
+/**
+ * Parse "512K", "4M", "1.5MB", "4096" (bytes).
+ * Fatal on malformed input.
+ */
+Bytes parseBytes(const std::string &text);
+
+/**
+ * Parse "30s", "5min", "2h", "1500ms" into microseconds.
+ * Fatal on malformed input.
+ */
+TimeUs parseDuration(const std::string &text);
+
+} // namespace nvfs::util

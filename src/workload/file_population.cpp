@@ -1,0 +1,71 @@
+#include "workload/file_population.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace nvfs::workload {
+
+void
+FilePopulation::seedSystemFiles(std::uint32_t count, double mean_bytes,
+                                util::Rng &rng)
+{
+    NVFS_REQUIRE(files_.empty(), "system files must be seeded first");
+    files_.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        GenFile file;
+        file.id = static_cast<FileId>(files_.size());
+        file.cls = FileClass::System;
+        file.owner = 0;
+        file.size = sampleFileSize(rng, mean_bytes, 1.0);
+        files_.push_back(file);
+    }
+    systemCount_ = count;
+}
+
+FileId
+FilePopulation::create(FileClass cls, ClientId owner, Bytes size)
+{
+    GenFile file;
+    file.id = static_cast<FileId>(files_.size());
+    file.cls = cls;
+    file.owner = owner;
+    file.size = size;
+    files_.push_back(file);
+    return file.id;
+}
+
+GenFile &
+FilePopulation::at(FileId id)
+{
+    NVFS_REQUIRE(id < files_.size(), "file id out of range");
+    return files_[id];
+}
+
+const GenFile &
+FilePopulation::at(FileId id) const
+{
+    NVFS_REQUIRE(id < files_.size(), "file id out of range");
+    return files_[id];
+}
+
+void
+FilePopulation::markDeleted(FileId id)
+{
+    at(id).deleted = true;
+}
+
+Bytes
+sampleFileSize(util::Rng &rng, double mean_bytes, double sigma)
+{
+    NVFS_REQUIRE(mean_bytes > 0.0, "file size mean must be positive");
+    // mean of lognormal = exp(mu + sigma^2/2)  =>  solve for mu.
+    const double mu = std::log(mean_bytes) - sigma * sigma / 2.0;
+    double size = rng.logNormal(mu, sigma);
+    size = std::clamp(size, 512.0, 64.0 * 1024 * 1024);
+    const auto bytes = static_cast<Bytes>(size);
+    return (bytes + 511) / 512 * 512;
+}
+
+} // namespace nvfs::workload

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The set of files a synthetic trace manipulates.
+ *
+ * Files carry a behavioural class, an owner client, and a current size
+ * the generator keeps consistent with the events it emits (reads never
+ * exceed the bytes actually written).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "workload/profile.hpp"
+
+namespace nvfs::workload {
+
+/** Generator-side record of one file. */
+struct GenFile
+{
+    FileId id = kNoFile;
+    FileClass cls = FileClass::System;
+    ClientId owner = 0;
+    Bytes size = 0;
+    bool deleted = false;
+};
+
+/** Dense table of generated files. */
+class FilePopulation
+{
+  public:
+    /**
+     * Create the pre-existing read-only system files.
+     * @param count number of system files
+     * @param mean_bytes mean size (lognormal, sigma 1.0)
+     */
+    void seedSystemFiles(std::uint32_t count, double mean_bytes,
+                         util::Rng &rng);
+
+    /** Create a new file of the given class; returns its id. */
+    FileId create(FileClass cls, ClientId owner, Bytes size);
+
+    /** Access a file record. */
+    GenFile &at(FileId id);
+    const GenFile &at(FileId id) const;
+
+    /** Mark deleted (ids are never reused). */
+    void markDeleted(FileId id);
+
+    /** Number of files ever created. */
+    std::size_t size() const { return files_.size(); }
+
+    /** Number of system files (ids 0 .. systemCount-1). */
+    std::uint32_t systemCount() const { return systemCount_; }
+
+  private:
+    std::vector<GenFile> files_;
+    std::uint32_t systemCount_ = 0;
+};
+
+/**
+ * Draw a lognormal file size with the given mean and ln-sigma,
+ * clamped to [512 B, 64 MB] and rounded up to 512 bytes.
+ */
+Bytes sampleFileSize(util::Rng &rng, double mean_bytes, double sigma);
+
+} // namespace nvfs::workload

@@ -1,0 +1,578 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "prep/converter.hpp"
+#include "trace/merge.hpp"
+#include "util/log.hpp"
+
+namespace nvfs::workload {
+
+using trace::Event;
+using trace::EventType;
+
+namespace {
+
+/** Transfer rates used to space chunked I/O in time. */
+constexpr double kWriteRate = 2.0 * 1024 * 1024;  // bytes/sec
+constexpr double kReadRate = 4.0 * 1024 * 1024;   // bytes/sec
+constexpr double kBigSimRate = 512.0 * 1024;      // slower producers
+constexpr Bytes kChunk = 64 * kKiB;
+
+} // namespace
+
+/**
+ * Emission helper: turns logical sessions into raw events in either
+ * dialect, guaranteeing strictly increasing timestamps per session.
+ */
+struct ClientTraceGenerator::Session
+{
+    std::vector<Event> events;
+    bool compat = false;
+    ProcId nextPid = 1;
+    GeneratedTotals *totals = nullptr;
+
+    /** Record of a completed write session (for migration sampling). */
+    struct WriteRecord
+    {
+        TimeUs end;
+        ClientId client;
+        ProcId pid;
+        FileId file;
+    };
+    std::vector<WriteRecord> writeRecords;
+
+    Event
+    base(TimeUs time, ClientId client, ProcId pid, FileId file)
+    {
+        Event e;
+        e.time = time;
+        e.client = client;
+        e.pid = pid;
+        e.file = file;
+        return e;
+    }
+
+    /**
+     * Sequential write of [offset, offset+length) with optional
+     * fsync before close.  Returns the close time.
+     */
+    TimeUs
+    writeSession(TimeUs start, ClientId client, FileId file,
+                 Bytes offset, Bytes length, bool create, bool fsync,
+                 double rate, ProcId *pid_out = nullptr)
+    {
+        const ProcId pid = nextPid++;
+        if (pid_out)
+            *pid_out = pid;
+        TimeUs t = start;
+
+        Event open = base(t, client, pid, file);
+        open.type = EventType::Open;
+        open.flags = trace::kOpenWrite |
+                     (create ? trace::kOpenCreate : 0u);
+        open.offset = offset;
+        events.push_back(open);
+
+        if (compat) {
+            t += std::max<TimeUs>(
+                1, static_cast<TimeUs>(1e6 * length / rate));
+        } else {
+            Bytes done = 0;
+            while (done < length) {
+                const Bytes n = std::min(kChunk, length - done);
+                t += std::max<TimeUs>(
+                    1, static_cast<TimeUs>(1e6 * n / rate));
+                Event w = base(t, client, pid, file);
+                w.type = EventType::Write;
+                w.offset = offset + done;
+                w.length = n;
+                events.push_back(w);
+                done += n;
+            }
+        }
+        if (fsync) {
+            t += 1;
+            Event f = base(t, client, pid, file);
+            f.type = EventType::Fsync;
+            events.push_back(f);
+            if (totals)
+                ++totals->fsyncs;
+        }
+        t += 1;
+        Event close = base(t, client, pid, file);
+        close.type = EventType::Close;
+        close.offset = offset + length; // final position
+        if (compat)
+            close.flags = prep::kDirtyHint;
+        events.push_back(close);
+
+        if (totals) {
+            totals->writeBytes += length;
+            ++totals->sessions;
+        }
+        writeRecords.push_back({t, client, pid, file});
+        return t;
+    }
+
+    /** Sequential read of [offset, offset+length). Returns close time. */
+    TimeUs
+    readSession(TimeUs start, ClientId client, FileId file,
+                Bytes offset, Bytes length, double rate = kReadRate)
+    {
+        const ProcId pid = nextPid++;
+        TimeUs t = start;
+
+        Event open = base(t, client, pid, file);
+        open.type = EventType::Open;
+        open.flags = trace::kOpenRead;
+        open.offset = offset;
+        events.push_back(open);
+
+        if (compat) {
+            t += std::max<TimeUs>(
+                1, static_cast<TimeUs>(1e6 * length / rate));
+        } else {
+            Bytes done = 0;
+            while (done < length) {
+                const Bytes n = std::min(kChunk, length - done);
+                t += std::max<TimeUs>(
+                    1, static_cast<TimeUs>(1e6 * n / rate));
+                Event r = base(t, client, pid, file);
+                r.type = EventType::Read;
+                r.offset = offset + done;
+                r.length = n;
+                events.push_back(r);
+                done += n;
+            }
+        }
+        t += 1;
+        Event close = base(t, client, pid, file);
+        close.type = EventType::Close;
+        close.offset = offset + length;
+        events.push_back(close);
+
+        if (totals) {
+            totals->readBytes += length;
+            ++totals->sessions;
+        }
+        return t;
+    }
+
+    /** Delete event. */
+    void
+    deleteFile(TimeUs time, ClientId client, FileId file)
+    {
+        Event e = base(time, client, nextPid++, file);
+        e.type = EventType::Delete;
+        events.push_back(e);
+        if (totals)
+            ++totals->deletes;
+    }
+};
+
+ClientTraceGenerator::ClientTraceGenerator(const TraceProfile &profile,
+                                           const GeneratorOptions &options)
+    : profile_(profile), options_(options)
+{
+    NVFS_REQUIRE(profile_.clients >= 2,
+                 "need at least two clients for sharing activities");
+}
+
+trace::TraceBuffer
+ClientTraceGenerator::generate()
+{
+    util::Rng rng(options_.seed * 0x9e3779b9ULL + profile_.index + 1);
+    files_ = FilePopulation{};
+    totals_ = GeneratedTotals{};
+
+    Session em;
+    em.compat = options_.spriteCompat;
+    em.totals = &totals_;
+
+    const TraceProfile &p = profile_;
+    const TimeUs dur = p.duration;
+    const double total = static_cast<double>(p.totalWriteBytes);
+
+    files_.seedSystemFiles(p.systemFiles, p.systemFileMeanBytes, rng);
+
+    auto randClient = [&] {
+        return static_cast<ClientId>(rng.uniformInt(0, p.clients - 1));
+    };
+    auto otherClient = [&](ClientId not_this) {
+        ClientId c = randClient();
+        while (c == not_this)
+            c = randClient();
+        return c;
+    };
+    // Uniform session start leaving room for the session itself.
+    auto randStart = [&](double span_s) {
+        const TimeUs margin = secondsUs(span_s) + kUsPerMinute;
+        const TimeUs hi = dur > margin ? dur - margin : dur / 2;
+        return static_cast<TimeUs>(rng.uniformInt(0, hi));
+    };
+
+    /** Readable (file, window) pairs for locality-bearing re-reads. */
+    struct Readable
+    {
+        FileId file;
+        ClientId owner;
+        TimeUs from;
+        TimeUs to;
+        Bytes size;
+    };
+    std::vector<Readable> readables;
+
+    // ---- Temp-file jobs (compile bursts): deleted quickly -----------
+    util::MixtureSampler temp_life({
+        {p.tempFastWeight, util::MixtureSampler::Kind::Exponential,
+         p.tempFastMeanS, 0},
+        {p.tempMediumWeight, util::MixtureSampler::Kind::Exponential,
+         p.tempMediumMeanS, 0},
+        {p.tempSlowWeight, util::MixtureSampler::Kind::Exponential,
+         p.tempSlowMeanS, 0},
+    });
+    double budget = p.temp.bytesShare * total;
+    while (budget > 0.0) {
+        const TimeUs job_start = randStart(p.jobSpreadS + 120.0);
+        const ClientId client = randClient();
+        const auto files_in_job = static_cast<std::uint32_t>(
+            rng.uniformInt(std::max(1.0, p.jobMeanFiles / 2),
+                           p.jobMeanFiles * 3 / 2));
+        for (std::uint32_t i = 0; i < files_in_job && budget > 0.0; ++i) {
+            const Bytes size = sampleFileSize(rng, p.temp.meanFileBytes,
+                                              p.temp.sigmaFile);
+            const FileId file = files_.create(FileClass::Temp, client,
+                                              size);
+            const TimeUs t0 = job_start +
+                secondsUs(rng.uniform(0.0, p.jobSpreadS));
+            TimeUs t = em.writeSession(t0, client, file, 0, size, true,
+                                       rng.chance(p.miscFsyncProb),
+                                       kWriteRate);
+            if (rng.chance(0.8))
+                t = em.readSession(t + secondsUs(rng.exponential(5.0)),
+                                   client, file, 0, size);
+            const TimeUs death = t +
+                secondsUs(temp_life.sample(rng));
+            if (death < dur) {
+                em.deleteFile(death, client, file);
+                files_.markDeleted(file);
+            }
+            budget -= static_cast<double>(size);
+        }
+    }
+
+    // ---- Editor save chains: overwritten -----------------------------
+    budget = p.edited.bytesShare * total;
+    while (budget > 0.0) {
+        const ClientId client = randClient();
+        const Bytes size = sampleFileSize(rng, p.edited.meanFileBytes,
+                                          p.edited.sigmaFile);
+        const FileId file = files_.create(FileClass::Edited, client,
+                                          size);
+        TimeUs t = static_cast<TimeUs>(
+            rng.uniformInt(0, dur * 9 / 10));
+        const auto saves = static_cast<std::uint32_t>(
+            1 + rng.exponential(p.editMeanSaves - 1));
+        for (std::uint32_t k = 0; k < saves && budget > 0.0; ++k) {
+            if (t >= dur - kUsPerMinute)
+                break;
+            t = em.writeSession(t, client, file, 0, size, k == 0,
+                                rng.chance(p.editFsyncProb),
+                                kWriteRate);
+            budget -= static_cast<double>(size);
+            t += secondsUs(rng.logNormal(p.editSaveMuLnS,
+                                         p.editSaveSigmaLnS));
+        }
+        readables.push_back({file, client, t, dur, size});
+    }
+
+    // ---- Append logs: bytes survive ----------------------------------
+    budget = p.log.bytesShare * total;
+    if (budget > 0.0) {
+        // Two log files per client; appends assigned chronologically so
+        // offsets grow with time.
+        struct Append
+        {
+            TimeUs time;
+            ClientId client;
+            std::uint32_t log;
+            Bytes length;
+        };
+        std::vector<Append> appends;
+        while (budget > 0.0) {
+            const ClientId client = randClient();
+            const Bytes n = sampleFileSize(rng, p.log.meanFileBytes,
+                                           p.log.sigmaFile);
+            appends.push_back({randStart(10.0), client,
+                               static_cast<std::uint32_t>(
+                                   rng.uniformInt(0, 1)),
+                               n});
+            budget -= static_cast<double>(n);
+        }
+        std::sort(appends.begin(), appends.end(),
+                  [](const Append &a, const Append &b) {
+                      return a.time < b.time;
+                  });
+        std::map<std::pair<ClientId, std::uint32_t>, FileId> logs;
+        for (const Append &a : appends) {
+            auto key = std::make_pair(a.client, a.log);
+            auto it = logs.find(key);
+            if (it == logs.end()) {
+                it = logs.emplace(key,
+                                  files_.create(FileClass::Log,
+                                                a.client, 0)).first;
+            }
+            GenFile &file = files_.at(it->second);
+            em.writeSession(a.time, a.client, file.id, file.size,
+                            a.length, file.size == 0,
+                            rng.chance(p.miscFsyncProb), kWriteRate);
+            file.size += a.length;
+        }
+    }
+
+    // ---- Write-once outputs: survive (occasionally deleted late) ----
+    budget = p.output.bytesShare * total;
+    while (budget > 0.0) {
+        const ClientId client = randClient();
+        const Bytes size = sampleFileSize(rng, p.output.meanFileBytes,
+                                          p.output.sigmaFile);
+        const FileId file = files_.create(FileClass::Output, client,
+                                          size);
+        const TimeUs t0 = randStart(10.0);
+        const TimeUs t = em.writeSession(t0, client, file, 0, size, true,
+                                         rng.chance(p.miscFsyncProb),
+                                         kWriteRate);
+        TimeUs available_to = dur;
+        if (rng.chance(0.15)) {
+            const TimeUs death = t + secondsUs(rng.exponential(6 * 3600));
+            if (death < dur) {
+                em.deleteFile(death, client, file);
+                files_.markDeleted(file);
+                available_to = death;
+            }
+        }
+        if (available_to > t + kUsPerMinute)
+            readables.push_back({file, client, t, available_to, size});
+        budget -= static_cast<double>(size);
+    }
+
+    // ---- Shared files: recalled by a cross-client open ---------------
+    budget = p.shared.bytesShare * total;
+    while (budget > 0.0) {
+        const ClientId writer = randClient();
+        const Bytes size = sampleFileSize(rng, p.shared.meanFileBytes,
+                                          p.shared.sigmaFile);
+        const FileId file = files_.create(FileClass::Shared, writer,
+                                          size);
+        const TimeUs t0 = randStart(p.sharedReadDelayS * 3 + 60.0);
+        const TimeUs t = em.writeSession(t0, writer, file, 0, size, true,
+                                         rng.chance(p.miscFsyncProb),
+                                         kWriteRate);
+        const TimeUs read_at = t +
+            secondsUs(rng.exponential(p.sharedReadDelayS));
+        if (read_at < dur) {
+            // Readers often consume only part of a shared file (a
+            // grep, a head, a partial build input): half the time
+            // read a prefix.  Whole-file consistency recalls all the
+            // dirty data either way; the block-level extension only
+            // pays for what is read.
+            Bytes read_len = size;
+            if (rng.chance(0.5)) {
+                read_len = std::max<Bytes>(
+                    512, static_cast<Bytes>(
+                             size * rng.uniform(0.1, 0.8)));
+            }
+            const TimeUs read_end = em.readSession(
+                read_at, otherClient(writer), file, 0, read_len);
+            // Shared intermediates are cleaned up eventually; under
+            // whole-file consistency the data was recalled at the
+            // open anyway, but a block-level protocol lets the
+            // never-read bytes die here instead of crossing the wire.
+            const TimeUs death =
+                read_end + secondsUs(rng.exponential(2.0 * 3600.0));
+            if (death < dur) {
+                em.deleteFile(death, writer, file);
+                files_.markDeleted(file);
+            }
+        }
+        budget -= static_cast<double>(size);
+    }
+
+    // ---- Large simulation files (traces 3/4) --------------------------
+    budget = p.bigSim.bytesShare * total;
+    if (budget > 0.0) {
+        const double per_client = budget / 2.0;
+        for (ClientId sim_client : {ClientId{0}, ClientId{1}}) {
+            double remaining = per_client;
+            const double expected_files =
+                std::max(1.0, per_client / p.bigSim.meanFileBytes);
+            const double gap_s = std::max(
+                5.0, static_cast<double>(dur) / kUsPerSecond /
+                         expected_files -
+                         p.bigSim.meanFileBytes / kBigSimRate);
+            TimeUs t = secondsUs(rng.uniform(0.0, 300.0));
+            while (remaining > 0.0 && t < dur - kUsPerMinute) {
+                const Bytes size = sampleFileSize(
+                    rng, p.bigSim.meanFileBytes, p.bigSim.sigmaFile);
+                FileId file = files_.create(FileClass::BigSim,
+                                            sim_client, size);
+                TimeUs end = em.writeSession(t, sim_client, file, 0,
+                                             size, true, false,
+                                             kBigSimRate);
+                remaining -= static_cast<double>(size);
+                if (rng.chance(0.5)) {
+                    end = em.readSession(
+                        end + secondsUs(rng.exponential(30.0)),
+                        sim_client, file, 0, size);
+                }
+                // Death: delete or overwrite after the sim lifetime.
+                TimeUs death = end +
+                    secondsUs(rng.logNormal(p.bigSimMuLnS,
+                                            p.bigSimSigmaLnS));
+                while (death < dur - kUsPerMinute) {
+                    if (rng.chance(p.bigSimDeleteProb)) {
+                        em.deleteFile(death, sim_client, file);
+                        files_.markDeleted(file);
+                        break;
+                    }
+                    // Overwrite in place, then die again later.
+                    death = em.writeSession(death, sim_client, file, 0,
+                                            size, false, false,
+                                            kBigSimRate);
+                    remaining -= static_cast<double>(size);
+                    death += secondsUs(rng.logNormal(p.bigSimMuLnS,
+                                                     p.bigSimSigmaLnS));
+                }
+                t = end + secondsUs(rng.exponential(gap_s));
+            }
+        }
+    }
+
+    // ---- Concurrent write-sharing (tiny) ------------------------------
+    budget = p.concurrentShare * total;
+    while (budget > 0.0) {
+        const ClientId a = randClient();
+        const ClientId b = otherClient(a);
+        const Bytes size = sampleFileSize(rng, 16.0 * 1024, 0.7);
+        const FileId file = files_.create(FileClass::Shared, a, size);
+        const TimeUs t0 = randStart(60.0);
+        const ProcId pid_a = em.nextPid++;
+
+        Event open_a = em.base(t0, a, pid_a, file);
+        open_a.type = EventType::Open;
+        open_a.flags = trace::kOpenWrite | trace::kOpenCreate;
+        em.events.push_back(open_a);
+
+        Event write_a = em.base(t0 + secondsUs(1.0), a, pid_a, file);
+        write_a.type = EventType::Write;
+        write_a.offset = 0;
+        write_a.length = size / 2;
+        em.events.push_back(write_a);
+
+        // Second client opens for write while the first still has it
+        // open: Sprite disables caching on the file.
+        const TimeUs tb = t0 + secondsUs(2.0);
+        em.writeSession(tb, b, file, size / 2, size - size / 2, false,
+                        false, kWriteRate);
+
+        Event write_a2 = em.base(t0 + secondsUs(8.0), a, pid_a, file);
+        write_a2.type = EventType::Write;
+        write_a2.offset = 0;
+        write_a2.length = size / 2;
+        em.events.push_back(write_a2);
+        totals_.writeBytes += size; // write_a + write_a2
+
+        Event close_a = em.base(t0 + secondsUs(10.0), a, pid_a, file);
+        close_a.type = EventType::Close;
+        close_a.offset = size / 2;
+        if (em.compat)
+            close_a.flags = prep::kDirtyHint;
+        em.events.push_back(close_a);
+
+        budget -= static_cast<double>(size + size);
+    }
+
+    // ---- Reads: self re-reads + shared system files -------------------
+    double read_budget = p.readWriteRatio * total -
+                         static_cast<double>(totals_.readBytes);
+    while (read_budget > 0.0) {
+        const ClientId client = randClient();
+        if (!readables.empty() && rng.chance(p.selfReadFraction)) {
+            // Re-read a long-lived file (own with priority).
+            const Readable &r = readables[rng.uniformInt(
+                0, readables.size() - 1)];
+            if (r.to > r.from + kUsPerMinute) {
+                const TimeUs t = static_cast<TimeUs>(rng.uniformInt(
+                    static_cast<std::uint64_t>(r.from),
+                    static_cast<std::uint64_t>(r.to - kUsPerMinute)));
+                em.readSession(t, r.owner, r.file, 0, r.size);
+                read_budget -= static_cast<double>(r.size);
+            }
+            continue;
+        }
+        // Zipf-popular file within the client's own slice of the
+        // system files; overlapping slices make popular files
+        // cluster-hot while keeping a per-client working set larger
+        // than the base cache.
+        const std::uint64_t slice = std::min<std::uint64_t>(
+            p.systemWorkingSetFiles, files_.systemCount());
+        const std::uint64_t rank = rng.zipf(slice, p.systemZipf);
+        const auto file = static_cast<FileId>(
+            (client * static_cast<std::uint64_t>(p.systemSliceStride) +
+             rank) %
+            files_.systemCount());
+        const Bytes size = files_.at(file).size;
+        em.readSession(randStart(5.0), client, file, 0, size);
+        read_budget -= static_cast<double>(size);
+    }
+
+    // ---- Process migrations -------------------------------------------
+    const auto migrations = static_cast<std::uint64_t>(
+        p.migrationsPerClientDay * p.clients);
+    for (std::uint64_t i = 0;
+         i < migrations && !em.writeRecords.empty(); ++i) {
+        const auto &rec = em.writeRecords[rng.uniformInt(
+            0, em.writeRecords.size() - 1)];
+        Event mig = em.base(rec.end + secondsUs(rng.uniform(1.0, 20.0)),
+                            rec.client, rec.pid, rec.file);
+        mig.type = EventType::Migrate;
+        mig.targetClient = otherClient(rec.client);
+        em.events.push_back(mig);
+        ++totals_.migrations;
+    }
+
+    // ---- Assemble -------------------------------------------------------
+    trace::TraceBuffer buffer;
+    buffer.header.traceIndex = p.index;
+    buffer.header.clientCount = p.clients;
+    buffer.events = std::move(em.events);
+    trace::stableSortByTime(buffer);
+    TimeUs last = buffer.events.empty() ? dur
+                                        : buffer.events.back().time;
+    buffer.header.duration = std::max(dur, last + 1);
+
+    Event end;
+    end.time = buffer.header.duration;
+    end.type = EventType::EndOfTrace;
+    buffer.events.push_back(end);
+    buffer.header.eventCount = buffer.events.size();
+    return buffer;
+}
+
+trace::TraceBuffer
+generateStandardTrace(int paper_number, double scale, bool sprite_compat)
+{
+    const TraceProfile profile = standardProfile(paper_number, scale);
+    GeneratorOptions options;
+    options.seed = 0xABCD0000ULL + static_cast<std::uint64_t>(
+        paper_number);
+    options.spriteCompat = sprite_compat;
+    ClientTraceGenerator gen(profile, options);
+    return gen.generate();
+}
+
+} // namespace nvfs::workload

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Synthetic Sprite client-trace generator.
+ *
+ * Emits a 24-hour, cluster-wide raw event trace from a TraceProfile.
+ * Activity classes (compile-style temp-file jobs, editor save chains,
+ * append logs, write-once outputs, cross-client shared files, and the
+ * traces-3/4 large-simulation runs) each control one slice of the byte
+ * budget, which is how the published byte-fate fractions (Table 2) and
+ * lifetime curves (Figure 2) are reproduced.
+ *
+ * Two output dialects:
+ *  - explicit: Read/Write events with offsets and lengths
+ *  - Sprite-compat: only open/seek/close carry offsets and the prep
+ *    pass reconstructs the I/O (see prep/converter.hpp)
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "trace/stream.hpp"
+#include "workload/file_population.hpp"
+#include "workload/profile.hpp"
+
+namespace nvfs::workload {
+
+/** Generator options independent of the workload shape. */
+struct GeneratorOptions
+{
+    std::uint64_t seed = 1;
+    bool spriteCompat = false; ///< emit the offset-only dialect
+};
+
+/** Aggregate byte/event counts of what a generation run emitted. */
+struct GeneratedTotals
+{
+    Bytes writeBytes = 0;
+    Bytes readBytes = 0;
+    std::uint64_t sessions = 0;
+    std::uint64_t deletes = 0;
+    std::uint64_t fsyncs = 0;
+    std::uint64_t migrations = 0;
+};
+
+/**
+ * Generates one trace from a profile.  Deterministic per (profile,
+ * seed).  The returned buffer is time-sorted and passes
+ * trace::validateTrace().
+ */
+class ClientTraceGenerator
+{
+  public:
+    ClientTraceGenerator(const TraceProfile &profile,
+                         const GeneratorOptions &options);
+
+    /** Produce the trace. */
+    trace::TraceBuffer generate();
+
+    /** Totals of the last generate() call. */
+    const GeneratedTotals &totals() const { return totals_; }
+
+    /** Final file table of the last generate() call. */
+    const FilePopulation &files() const { return files_; }
+
+  private:
+    struct Session; // emission helper, defined in the .cpp
+
+    TraceProfile profile_;
+    GeneratorOptions options_;
+    FilePopulation files_;
+    GeneratedTotals totals_;
+};
+
+/**
+ * Convenience: generate paper trace `paper_number` (1..8) at `scale`
+ * with a seed derived from the trace number.
+ */
+trace::TraceBuffer generateStandardTrace(int paper_number,
+                                         double scale = 1.0,
+                                         bool sprite_compat = false);
+
+} // namespace nvfs::workload

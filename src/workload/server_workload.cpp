@@ -1,0 +1,258 @@
+#include "workload/server_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace nvfs::workload {
+
+std::vector<FsProfile>
+standardFsProfiles(double scale)
+{
+    NVFS_REQUIRE(scale > 0.0, "scale must be positive");
+    std::vector<FsProfile> out;
+
+    // /user6 — home directories plus a long-running database benchmark
+    // issuing five ~8 KB fsyncs per transaction (Table 3: 97% partial,
+    // 92% fsync-forced, 89% of all segment writes).
+    {
+        FsProfile fs;
+        fs.name = "/user6";
+        fs.transactionsPerHour = 240.0 * scale;
+        fs.fsyncsPerTransaction = 5;
+        fs.bytesPerFsync = 8.0 * 1024;
+        fs.dumpsPerHour = 40.0 * scale;
+        fs.smallDumpMeanBytes = 60.0 * 1024;
+        fs.smallDumpSigma = 0.9;
+        fs.bigDumpProb = 0.04;
+        fs.bigDumpMeanBytes = 1.5 * 1024 * 1024;
+        fs.dumpFsyncProb = 0.02;
+        out.push_back(fs);
+    }
+
+    // /local — program installations: big dumps, ~no fsyncs
+    // (65% partial, ~0% fsync, 3% of segments, ~113 KB/partial).
+    {
+        FsProfile fs;
+        fs.name = "/local";
+        fs.dumpsPerHour = 24.0 * scale;
+        fs.sessionDumpsMean = 4.0;
+        fs.sessionSpreadS = 150.0;
+        fs.smallDumpMeanBytes = 280.0 * 1024;
+        fs.smallDumpSigma = 1.0;
+        fs.bigDumpProb = 0.10;
+        fs.bigDumpMeanBytes = 2.0 * 1024 * 1024;
+        fs.dumpFsyncProb = 0.001;
+        out.push_back(fs);
+    }
+
+    // /swap1 — paging: small page clusters plus occasional large
+    // page-out storms, never fsyncs (70% partial, ~53 KB/partial).
+    {
+        FsProfile fs;
+        fs.name = "/swap1";
+        fs.dumpsPerHour = 26.0 * scale;
+        fs.sessionDumpsMean = 3.0;
+        fs.sessionSpreadS = 90.0;
+        fs.smallDumpMeanBytes = 72.0 * 1024;
+        fs.smallDumpSigma = 0.8;
+        fs.bigDumpProb = 0.15;
+        fs.bigDumpMeanBytes = 2.0 * 1024 * 1024;
+        out.push_back(fs);
+    }
+
+    // /user1 — home directories: small interactive dumps, some
+    // editor fsyncs (90% partial, 18% fsync, ~20 KB/partial).
+    {
+        FsProfile fs;
+        fs.name = "/user1";
+        fs.dumpsPerHour = 22.0 * scale;
+        fs.sessionDumpsMean = 5.0;
+        fs.sessionSpreadS = 150.0;
+        fs.smallDumpMeanBytes = 22.0 * 1024;
+        fs.smallDumpSigma = 0.8;
+        fs.bigDumpProb = 0.08;
+        fs.bigDumpMeanBytes = 700.0 * 1024;
+        fs.dumpFsyncProb = 0.18;
+        out.push_back(fs);
+    }
+
+    // /user4 — like /user1, lighter (92% partial, 10% fsync).
+    {
+        FsProfile fs;
+        fs.name = "/user4";
+        fs.dumpsPerHour = 17.0 * scale;
+        fs.sessionDumpsMean = 5.0;
+        fs.sessionSpreadS = 150.0;
+        fs.smallDumpMeanBytes = 20.0 * 1024;
+        fs.smallDumpSigma = 0.8;
+        fs.bigDumpProb = 0.06;
+        fs.bigDumpMeanBytes = 700.0 * 1024;
+        fs.dumpFsyncProb = 0.10;
+        out.push_back(fs);
+    }
+
+    // /sprite/src/kernel — kernel development: compile-output dumps,
+    // some large (71% partial, 22% fsync, ~55 KB/partial).
+    {
+        FsProfile fs;
+        fs.name = "/sprite/src/kernel";
+        fs.dumpsPerHour = 10.0 * scale;
+        fs.sessionDumpsMean = 6.0;
+        fs.sessionSpreadS = 180.0;
+        fs.smallDumpMeanBytes = 64.0 * 1024;
+        fs.smallDumpSigma = 0.8;
+        fs.bigDumpProb = 0.18;
+        fs.bigDumpMeanBytes = 0.9 * 1024 * 1024;
+        fs.dumpFsyncProb = 0.28;
+        out.push_back(fs);
+    }
+
+    // /user2 — nearly idle home directories (92% partial, 20% fsync,
+    // 0.3% of segments).
+    {
+        FsProfile fs;
+        fs.name = "/user2";
+        fs.dumpsPerHour = 3.5 * scale;
+        fs.sessionDumpsMean = 4.0;
+        fs.sessionSpreadS = 150.0;
+        fs.smallDumpMeanBytes = 20.0 * 1024;
+        fs.smallDumpSigma = 0.7;
+        fs.dumpFsyncProb = 0.20;
+        out.push_back(fs);
+    }
+
+    // /scratch4 — long-lived trace data trickling in (96% partial, no
+    // fsyncs, < 0.1% of segments).
+    {
+        FsProfile fs;
+        fs.name = "/scratch4";
+        fs.trickleIntervalS = 3600.0 / std::max(0.25, 2.8 * scale);
+        fs.trickleChunkBytes = 24.0 * 1024;
+        fs.dumpsPerHour = 0.06 * scale; // rare trace-dump burst
+        fs.smallDumpMeanBytes = 600.0 * 1024;
+        fs.smallDumpSigma = 0.5;
+        out.push_back(fs);
+    }
+
+    return out;
+}
+
+namespace {
+
+/** Emit one dump: the whole volume arrives at one instant. */
+void
+emitDump(std::vector<ServerOp> &ops, FsId fs, FileId file, TimeUs t,
+         Bytes volume, bool fsync)
+{
+    Bytes offset = 0;
+    while (offset < volume) {
+        const Bytes n = std::min<Bytes>(64 * kKiB, volume - offset);
+        ops.push_back({t, fs, file, offset, n, ServerOp::Kind::Write});
+        offset += n;
+    }
+    if (fsync) {
+        ops.push_back({t + 1000, fs, file, 0, 0,
+                       ServerOp::Kind::Fsync});
+    }
+}
+
+Bytes
+lognormalBytes(util::Rng &rng, double mean, double sigma)
+{
+    const double mu = std::log(mean) - sigma * sigma / 2.0;
+    const double v = rng.logNormal(mu, sigma);
+    return static_cast<Bytes>(std::max(512.0, v));
+}
+
+} // namespace
+
+std::vector<ServerOp>
+generateServerOps(const std::vector<FsProfile> &fss, TimeUs duration,
+                  std::uint64_t seed)
+{
+    util::Rng rng(seed ^ 0x5ce1f5ULL);
+    std::vector<ServerOp> ops;
+    FileId next_file = 1;
+
+    for (std::size_t i = 0; i < fss.size(); ++i) {
+        const FsProfile &p = fss[i];
+        const auto fs = static_cast<FsId>(i);
+
+        // Transaction-processing stream: one database file receiving
+        // small appends, each followed by an fsync.
+        if (p.transactionsPerHour > 0.0) {
+            const FileId db_file = next_file++;
+            Bytes db_offset = 0;
+            const double mean_gap_s = 3600.0 / p.transactionsPerHour;
+            TimeUs t = secondsUs(rng.exponential(mean_gap_s));
+            while (t < duration) {
+                for (int s = 0; s < p.fsyncsPerTransaction; ++s) {
+                    const Bytes n = lognormalBytes(
+                        rng, p.bytesPerFsync, 0.5);
+                    ops.push_back({t, fs, db_file, db_offset, n,
+                                   ServerOp::Kind::Write});
+                    db_offset += n;
+                    ops.push_back({t + 1000, fs, db_file, 0, 0,
+                                   ServerOp::Kind::Fsync});
+                    t += secondsUs(0.05 + rng.exponential(0.1));
+                }
+                t += secondsUs(rng.exponential(mean_gap_s));
+            }
+        }
+
+        // Dump stream: lumps of dirty data, one new file per dump,
+        // arriving in activity sessions.
+        if (p.dumpsPerHour > 0.0) {
+            const double session_gap_s =
+                3600.0 / p.dumpsPerHour *
+                std::max(1.0, p.sessionDumpsMean);
+            TimeUs t = secondsUs(rng.exponential(session_gap_s));
+            while (t < duration) {
+                const auto dumps = static_cast<int>(
+                    1 + rng.exponential(
+                            std::max(0.0, p.sessionDumpsMean - 1.0)));
+                TimeUs dt = t;
+                for (int d = 0; d < dumps && dt < duration; ++d) {
+                    const bool big = rng.chance(p.bigDumpProb);
+                    const Bytes volume =
+                        big ? lognormalBytes(rng, p.bigDumpMeanBytes,
+                                             p.bigDumpSigma)
+                            : lognormalBytes(rng, p.smallDumpMeanBytes,
+                                             p.smallDumpSigma);
+                    const bool fsync =
+                        !big && rng.chance(p.dumpFsyncProb);
+                    emitDump(ops, fs, next_file++, dt, volume, fsync);
+                    dt += secondsUs(rng.uniform(
+                        8.0, 2.0 * p.sessionSpreadS /
+                                 std::max(1.0, p.sessionDumpsMean)));
+                }
+                t += secondsUs(rng.exponential(session_gap_s));
+            }
+        }
+
+        // Trickle stream: periodic small appends to one file.
+        if (p.trickleIntervalS > 0.0) {
+            const FileId file = next_file++;
+            Bytes offset = 0;
+            TimeUs t = secondsUs(rng.exponential(p.trickleIntervalS));
+            while (t < duration) {
+                const auto n =
+                    static_cast<Bytes>(p.trickleChunkBytes);
+                ops.push_back({t, fs, file, offset, n,
+                               ServerOp::Kind::Write});
+                offset += n;
+                t += secondsUs(rng.exponential(p.trickleIntervalS));
+            }
+        }
+    }
+
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const ServerOp &a, const ServerOp &b) {
+                         return a.time < b.time;
+                     });
+    return ops;
+}
+
+} // namespace nvfs::workload

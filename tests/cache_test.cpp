@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Unit tests for the block-cache substrate: resident-set management,
+ * dirty tracking, the LRU ordering, and all four replacement policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/block_cache.hpp"
+#include "cache/policy.hpp"
+
+namespace nvfs::cache {
+namespace {
+
+BlockId
+id(FileId file, std::uint32_t index = 0)
+{
+    return {file, index};
+}
+
+TEST(BlockCache, InsertContainsRemove)
+{
+    BlockCache cache(4);
+    EXPECT_FALSE(cache.contains(id(1)));
+    cache.insert(id(1), 10);
+    EXPECT_TRUE(cache.contains(id(1)));
+    EXPECT_EQ(cache.size(), 1u);
+    const CacheBlock block = cache.remove(id(1));
+    EXPECT_EQ(block.id, id(1));
+    EXPECT_FALSE(cache.contains(id(1)));
+}
+
+TEST(BlockCache, FullAndCapacity)
+{
+    BlockCache cache(2);
+    cache.insert(id(1), 1);
+    EXPECT_FALSE(cache.full());
+    cache.insert(id(2), 2);
+    EXPECT_TRUE(cache.full());
+    EXPECT_EQ(cache.capacityBlocks(), 2u);
+}
+
+TEST(BlockCache, UnboundedNeverFull)
+{
+    BlockCache cache(0);
+    for (std::uint32_t i = 0; i < 100; ++i)
+        cache.insert(id(i), i);
+    EXPECT_FALSE(cache.full());
+    EXPECT_EQ(cache.size(), 100u);
+}
+
+TEST(BlockCache, LruOrderFollowsTouches)
+{
+    BlockCache cache(3);
+    cache.insert(id(1), 1);
+    cache.insert(id(2), 2);
+    cache.insert(id(3), 3);
+    EXPECT_EQ(*cache.lruBlock(), id(1));
+    cache.touch(id(1), 4);
+    EXPECT_EQ(*cache.lruBlock(), id(2));
+    EXPECT_EQ(cache.lruAccessTime(), 2);
+}
+
+TEST(BlockCache, DirtyAccounting)
+{
+    BlockCache cache(4);
+    cache.insert(id(1), 1);
+    cache.markDirty(id(1), 0, 100, 5);
+    EXPECT_EQ(cache.dirtyBytes(), 100u);
+    EXPECT_EQ(cache.dirtyBlockCount(), 1u);
+    cache.markDirty(id(1), 50, 200, 6); // overlaps: 200 total
+    EXPECT_EQ(cache.dirtyBytes(), 200u);
+    EXPECT_EQ(cache.peek(id(1))->dirtySince, 5);
+    cache.markClean(id(1));
+    EXPECT_EQ(cache.dirtyBytes(), 0u);
+    EXPECT_EQ(cache.dirtyBlockCount(), 0u);
+    EXPECT_FALSE(cache.peek(id(1))->isDirty());
+}
+
+TEST(BlockCache, TrimDirtyPartialAndFull)
+{
+    BlockCache cache(4);
+    cache.insert(id(1), 1);
+    cache.markDirty(id(1), 0, 1000, 2);
+    EXPECT_EQ(cache.trimDirty(id(1), 500, 1000), 500u);
+    EXPECT_EQ(cache.dirtyBytes(), 500u);
+    EXPECT_TRUE(cache.peek(id(1))->isDirty());
+    EXPECT_EQ(cache.trimDirty(id(1), 0, 500), 500u);
+    EXPECT_FALSE(cache.peek(id(1))->isDirty());
+    EXPECT_EQ(cache.dirtyBlockCount(), 0u);
+}
+
+TEST(BlockCache, DirtyOlderThanWalksInOrder)
+{
+    BlockCache cache(8);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+        cache.insert(id(i), i * 10);
+        cache.markDirty(id(i), 0, 10, i * 10);
+    }
+    const auto old = cache.dirtyOlderThan(20);
+    ASSERT_EQ(old.size(), 3u);
+    EXPECT_EQ(old[0], id(0));
+    EXPECT_EQ(old[2], id(2));
+    EXPECT_EQ(cache.allDirtyBlocks().size(), 5u);
+}
+
+TEST(BlockCache, DirtyOrderSurvivesCleanAndRedirty)
+{
+    BlockCache cache(8);
+    cache.insert(id(1), 1);
+    cache.insert(id(2), 2);
+    cache.markDirty(id(1), 0, 10, 10);
+    cache.markDirty(id(2), 0, 10, 20);
+    cache.markClean(id(1));
+    cache.markDirty(id(1), 0, 10, 30); // re-dirty: moves to back
+    const auto all = cache.allDirtyBlocks();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0], id(2));
+    EXPECT_EQ(all[1], id(1));
+}
+
+TEST(BlockCache, BlocksOfFileAscending)
+{
+    BlockCache cache(8);
+    cache.insert(id(7, 3), 1);
+    cache.insert(id(7, 1), 2);
+    cache.insert(id(8, 0), 3);
+    const auto blocks = cache.blocksOfFile(7);
+    ASSERT_EQ(blocks.size(), 2u);
+    EXPECT_EQ(blocks[0].index, 1u);
+    EXPECT_EQ(blocks[1].index, 3u);
+    EXPECT_TRUE(cache.blocksOfFile(9).empty());
+}
+
+TEST(BlockCache, DirtyBlocksOfFile)
+{
+    BlockCache cache(8);
+    cache.insert(id(7, 0), 1);
+    cache.insert(id(7, 1), 1);
+    cache.markDirty(id(7, 1), 0, 10, 2);
+    const auto dirty = cache.dirtyBlocksOfFile(7);
+    ASSERT_EQ(dirty.size(), 1u);
+    EXPECT_EQ(dirty[0].index, 1u);
+}
+
+TEST(BlockCache, LruCleanBlockSkipsDirty)
+{
+    BlockCache cache(3);
+    cache.insert(id(1), 1);
+    cache.insert(id(2), 2);
+    cache.markDirty(id(1), 0, 10, 3);
+    EXPECT_EQ(*cache.lruCleanBlock(), id(2));
+    cache.markDirty(id(2), 0, 10, 4);
+    EXPECT_FALSE(cache.lruCleanBlock().has_value());
+}
+
+TEST(BlockCache, InsertOrderedKeepsAccessOrder)
+{
+    BlockCache cache(8);
+    cache.insert(id(1), 10);
+    cache.insert(id(2), 20);
+    cache.insert(id(3), 30);
+    // Insert with an access time between 10 and 20.
+    cache.insertOrdered(id(4), 15);
+    EXPECT_EQ(*cache.lruBlock(), id(1));
+    cache.remove(id(1));
+    EXPECT_EQ(*cache.lruBlock(), id(4));
+    // Oldest of all goes to the front.
+    cache.insertOrdered(id(5), 1);
+    EXPECT_EQ(*cache.lruBlock(), id(5));
+    // Youngest of all goes to the back.
+    cache.insertOrdered(id(6), 99);
+    cache.remove(id(5));
+    cache.remove(id(4));
+    cache.remove(id(2));
+    cache.remove(id(3));
+    EXPECT_EQ(*cache.lruBlock(), id(6));
+}
+
+// ------------------------------------------------------------ policies
+
+TEST(LruPolicy, EvictsLeastRecentlyUsed)
+{
+    BlockCache cache(3, makePolicy(PolicyKind::Lru));
+    cache.insert(id(1), 1);
+    cache.insert(id(2), 2);
+    cache.insert(id(3), 3);
+    cache.touch(id(1), 4);
+    EXPECT_EQ(*cache.chooseVictim(5), id(2));
+}
+
+TEST(RandomPolicy, VictimIsResident)
+{
+    util::Rng rng(5);
+    BlockCache cache(16, makePolicy(PolicyKind::Random, &rng));
+    std::set<BlockId> resident;
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        cache.insert(id(i), i);
+        resident.insert(id(i));
+    }
+    for (int round = 0; round < 200; ++round) {
+        const auto victim = cache.chooseVictim(100);
+        ASSERT_TRUE(victim.has_value());
+        EXPECT_TRUE(resident.count(*victim));
+    }
+}
+
+TEST(RandomPolicy, SpreadsChoices)
+{
+    util::Rng rng(6);
+    BlockCache cache(8, makePolicy(PolicyKind::Random, &rng));
+    for (std::uint32_t i = 0; i < 8; ++i)
+        cache.insert(id(i), i);
+    std::set<BlockId> seen;
+    for (int round = 0; round < 200; ++round)
+        seen.insert(*cache.chooseVictim(100));
+    EXPECT_GT(seen.size(), 4u);
+}
+
+TEST(ClockPolicy, GivesSecondChance)
+{
+    BlockCache cache(3, makePolicy(PolicyKind::Clock));
+    cache.insert(id(1), 1);
+    cache.insert(id(2), 2);
+    cache.insert(id(3), 3);
+    // All referenced once (on insert); first sweep clears bits and
+    // the second returns the first unreferenced block.
+    const auto victim = cache.chooseVictim(4);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(cache.contains(*victim));
+}
+
+TEST(ClockPolicy, RecentlyTouchedSurvives)
+{
+    BlockCache cache(2, makePolicy(PolicyKind::Clock));
+    cache.insert(id(1), 1);
+    cache.insert(id(2), 2);
+    // First victim clears reference bits.
+    const auto first = cache.chooseVictim(3);
+    cache.remove(*first);
+    cache.insert(id(3), 3);
+    cache.touch(id(3), 4);
+    const auto second = cache.chooseVictim(5);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_NE(*second, id(3)); // freshly referenced block survives
+}
+
+/** Fixed-schedule oracle for omniscient policy tests. */
+class StubOracle : public NextModifyOracle
+{
+  public:
+    std::map<BlockId, TimeUs> next;
+
+    TimeUs
+    nextModify(const BlockId &block, TimeUs) const override
+    {
+        auto it = next.find(block);
+        return it == next.end() ? kTimeInfinity : it->second;
+    }
+};
+
+TEST(OmniscientPolicy, EvictsFurthestNextModify)
+{
+    StubOracle oracle;
+    oracle.next[id(1)] = 100;  // modified soon: keep
+    oracle.next[id(2)] = 9000; // modified late: evict
+    oracle.next[id(3)] = 500;
+    BlockCache cache(3,
+                     makePolicy(PolicyKind::Omniscient, nullptr,
+                                &oracle));
+    cache.insert(id(1), 1);
+    cache.insert(id(2), 2);
+    cache.insert(id(3), 3);
+    EXPECT_EQ(*cache.chooseVictim(10), id(2));
+}
+
+TEST(OmniscientPolicy, NeverModifiedEvictedFirst)
+{
+    StubOracle oracle;
+    oracle.next[id(1)] = 100;
+    // id(2) has no future modification at all.
+    BlockCache cache(2,
+                     makePolicy(PolicyKind::Omniscient, nullptr,
+                                &oracle));
+    cache.insert(id(1), 1);
+    cache.insert(id(2), 2);
+    EXPECT_EQ(*cache.chooseVictim(10), id(2));
+}
+
+TEST(OmniscientPolicy, RefreshesOnAccess)
+{
+    StubOracle oracle;
+    oracle.next[id(1)] = 100;
+    oracle.next[id(2)] = 200;
+    BlockCache cache(2,
+                     makePolicy(PolicyKind::Omniscient, nullptr,
+                                &oracle));
+    cache.insert(id(1), 1);
+    cache.insert(id(2), 2);
+    EXPECT_EQ(*cache.chooseVictim(10), id(2));
+    // After time passes id(1)'s next modify, its key refreshes on
+    // access; with no further writes it becomes the far-future block.
+    oracle.next[id(1)] = kTimeInfinity;
+    cache.touch(id(1), 150);
+    EXPECT_EQ(*cache.chooseVictim(150), id(1));
+}
+
+TEST(Policies, EmptyCacheHasNoVictim)
+{
+    for (const auto kind :
+         {PolicyKind::Lru, PolicyKind::Clock}) {
+        BlockCache cache(2, makePolicy(kind));
+        EXPECT_FALSE(cache.chooseVictim(1).has_value());
+    }
+}
+
+TEST(Policies, Names)
+{
+    EXPECT_EQ(policyName(PolicyKind::Lru), "LRU");
+    EXPECT_EQ(policyName(PolicyKind::Random), "random");
+    EXPECT_EQ(policyName(PolicyKind::Clock), "clock");
+    EXPECT_EQ(policyName(PolicyKind::Omniscient), "omniscient");
+}
+
+} // namespace
+} // namespace nvfs::cache

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Integration tests of the cluster simulator on small handcrafted op
+ * streams with exactly predictable traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/client/cluster_sim.hpp"
+
+namespace nvfs::core {
+namespace {
+
+using prep::Op;
+using prep::OpType;
+
+/** Small builder for handcrafted op streams. */
+class StreamBuilder
+{
+  public:
+    explicit StreamBuilder(std::uint32_t clients = 2)
+    {
+        stream_.clientCount = clients;
+    }
+
+    StreamBuilder &
+    open(TimeUs t, ClientId c, FileId f, bool write, ProcId pid = 1)
+    {
+        Op op;
+        op.time = t;
+        op.client = c;
+        op.pid = pid;
+        op.file = f;
+        op.type = OpType::Open;
+        op.openForWrite = write;
+        op.openForRead = !write;
+        stream_.ops.push_back(op);
+        return *this;
+    }
+
+    StreamBuilder &
+    close(TimeUs t, ClientId c, FileId f, ProcId pid = 1)
+    {
+        Op op;
+        op.time = t;
+        op.client = c;
+        op.pid = pid;
+        op.file = f;
+        op.type = OpType::Close;
+        stream_.ops.push_back(op);
+        return *this;
+    }
+
+    StreamBuilder &
+    write(TimeUs t, ClientId c, FileId f, Bytes off, Bytes len,
+          ProcId pid = 1)
+    {
+        Op op;
+        op.time = t;
+        op.client = c;
+        op.pid = pid;
+        op.file = f;
+        op.offset = off;
+        op.length = len;
+        op.type = OpType::Write;
+        stream_.ops.push_back(op);
+        return *this;
+    }
+
+    StreamBuilder &
+    read(TimeUs t, ClientId c, FileId f, Bytes off, Bytes len)
+    {
+        Op op;
+        op.time = t;
+        op.client = c;
+        op.pid = 1;
+        op.file = f;
+        op.offset = off;
+        op.length = len;
+        op.type = OpType::Read;
+        stream_.ops.push_back(op);
+        return *this;
+    }
+
+    StreamBuilder &
+    del(TimeUs t, ClientId c, FileId f)
+    {
+        Op op;
+        op.time = t;
+        op.client = c;
+        op.file = f;
+        op.type = OpType::Delete;
+        stream_.ops.push_back(op);
+        return *this;
+    }
+
+    StreamBuilder &
+    fsync(TimeUs t, ClientId c, FileId f)
+    {
+        Op op;
+        op.time = t;
+        op.client = c;
+        op.pid = 1;
+        op.file = f;
+        op.type = OpType::Fsync;
+        stream_.ops.push_back(op);
+        return *this;
+    }
+
+    StreamBuilder &
+    migrate(TimeUs t, ClientId c, ProcId pid, ClientId target)
+    {
+        Op op;
+        op.time = t;
+        op.client = c;
+        op.pid = pid;
+        op.targetClient = target;
+        op.type = OpType::Migrate;
+        stream_.ops.push_back(op);
+        return *this;
+    }
+
+    const prep::OpStream &stream() const { return stream_; }
+
+  private:
+    prep::OpStream stream_;
+};
+
+ClusterConfig
+configFor(ModelKind kind)
+{
+    ClusterConfig config;
+    config.model.kind = kind;
+    config.model.volatileBytes = 8 * kMiB;
+    config.model.nvramBytes = kMiB;
+    return config;
+}
+
+TEST(ClusterSim, VolatileDelayedWriteBackFiresAt30s)
+{
+    StreamBuilder b;
+    b.open(0, 0, 1, true)
+        .write(secondsUs(1), 0, 1, 0, 4096)
+        .close(secondsUs(2), 0, 1)
+        // A dummy late op so the clock advances past 31 s.
+        .read(secondsUs(60), 1, 2, 0, 100);
+    ClusterSim sim(configFor(ModelKind::Volatile), 2);
+    const Metrics m = sim.run(b.stream());
+    EXPECT_EQ(m.serverWrites(WriteCause::DelayedWriteBack), 4096u);
+    EXPECT_EQ(m.serverWrites(WriteCause::EndOfTrace), 0u);
+}
+
+TEST(ClusterSim, UnifiedAbsorbsDeletedData)
+{
+    StreamBuilder b;
+    b.open(0, 0, 1, true)
+        .write(secondsUs(1), 0, 1, 0, 8192)
+        .close(secondsUs(2), 0, 1)
+        .del(secondsUs(10), 0, 1);
+    ClusterSim sim(configFor(ModelKind::Unified), 2);
+    const Metrics m = sim.run(b.stream());
+    EXPECT_EQ(m.totalServerWrites(), 0u);
+    EXPECT_EQ(m.absorbedDeletedBytes, 8192u);
+    EXPECT_EQ(m.appWriteBytes, 8192u);
+}
+
+TEST(ClusterSim, CrossClientOpenTriggersCallback)
+{
+    StreamBuilder b;
+    b.open(0, 0, 1, true)
+        .write(secondsUs(1), 0, 1, 0, 4096)
+        .close(secondsUs(2), 0, 1)
+        .open(secondsUs(5), 1, 1, false)
+        .read(secondsUs(6), 1, 1, 0, 4096)
+        .close(secondsUs(7), 1, 1);
+    ClusterSim sim(configFor(ModelKind::Unified), 2);
+    const Metrics m = sim.run(b.stream());
+    EXPECT_EQ(m.serverWrites(WriteCause::Callback), 4096u);
+    // The reader fetched the block from the server afterwards.
+    EXPECT_EQ(m.serverReadBytes, 4096u);
+}
+
+TEST(ClusterSim, ConcurrentWriteSharingBypassesCaches)
+{
+    StreamBuilder b;
+    b.open(0, 0, 1, true, 1)
+        .write(secondsUs(1), 0, 1, 0, 1000, 1)
+        .open(secondsUs(2), 1, 1, true, 2)
+        // Caching now disabled: writes go straight to the server.
+        .write(secondsUs(3), 0, 1, 0, 2000, 1)
+        .write(secondsUs(4), 1, 1, 2000, 3000, 2)
+        .close(secondsUs(5), 0, 1, 1)
+        .close(secondsUs(6), 1, 1, 2);
+    ClusterSim sim(configFor(ModelKind::Unified), 2);
+    const Metrics m = sim.run(b.stream());
+    EXPECT_EQ(m.serverWrites(WriteCause::Concurrent), 5000u);
+    // The pre-sharing 1000 bytes were flushed when sharing began.
+    EXPECT_EQ(m.serverWrites(WriteCause::Callback), 1000u);
+    EXPECT_EQ(m.appWriteBytes, 6000u);
+}
+
+TEST(ClusterSim, MigrationFlushesProcessFiles)
+{
+    StreamBuilder b;
+    b.open(0, 0, 1, true, 42)
+        .write(secondsUs(1), 0, 1, 0, 4096, 42)
+        .close(secondsUs(2), 0, 1, 42)
+        .migrate(secondsUs(3), 0, 42, 1);
+    ClusterSim sim(configFor(ModelKind::Unified), 2);
+    const Metrics m = sim.run(b.stream());
+    EXPECT_EQ(m.serverWrites(WriteCause::Migration), 4096u);
+}
+
+TEST(ClusterSim, MigrationIgnoresOtherProcesses)
+{
+    StreamBuilder b;
+    b.open(0, 0, 1, true, 42)
+        .write(secondsUs(1), 0, 1, 0, 4096, 42)
+        .close(secondsUs(2), 0, 1, 42)
+        .migrate(secondsUs(3), 0, 7, 1); // different pid
+    ClusterSim sim(configFor(ModelKind::Unified), 2);
+    const Metrics m = sim.run(b.stream());
+    EXPECT_EQ(m.serverWrites(WriteCause::Migration), 0u);
+    EXPECT_EQ(m.serverWrites(WriteCause::EndOfTrace), 4096u);
+}
+
+TEST(ClusterSim, RemainingDirtyCountsAtEndOfTrace)
+{
+    StreamBuilder b;
+    b.open(0, 0, 1, true).write(1, 0, 1, 0, 4096).close(2, 0, 1);
+    ClusterSim sim(configFor(ModelKind::Unified), 2);
+    const Metrics m = sim.run(b.stream());
+    EXPECT_EQ(m.serverWrites(WriteCause::EndOfTrace), 4096u);
+}
+
+TEST(ClusterSim, FsyncOnlyCostsInVolatileModel)
+{
+    auto build = [] {
+        StreamBuilder b;
+        b.open(0, 0, 1, true)
+            .write(secondsUs(1), 0, 1, 0, 4096)
+            .fsync(secondsUs(2), 0, 1)
+            .close(secondsUs(3), 0, 1)
+            .del(secondsUs(4), 0, 1);
+        return b;
+    };
+    ClusterSim vol(configFor(ModelKind::Volatile), 2);
+    const Metrics mv = vol.run(build().stream());
+    EXPECT_EQ(mv.serverWrites(WriteCause::Fsync), 4096u);
+
+    for (const auto kind :
+         {ModelKind::WriteAside, ModelKind::Unified}) {
+        ClusterSim sim(configFor(kind), 2);
+        const Metrics m = sim.run(build().stream());
+        EXPECT_EQ(m.totalServerWrites(), 0u) << modelKindName(kind);
+    }
+}
+
+TEST(ClusterSim, TruncateShrinksAndAbsorbs)
+{
+    StreamBuilder b;
+    b.open(0, 0, 1, true).write(1, 0, 1, 0, 2 * kBlockSize);
+    Op trunc;
+    trunc.time = 2;
+    trunc.client = 0;
+    trunc.file = 1;
+    trunc.length = kBlockSize;
+    trunc.type = OpType::Truncate;
+    auto stream = b.stream();
+    stream.ops.push_back(trunc);
+    Op close;
+    close.time = 3;
+    close.client = 0;
+    close.pid = 1;
+    close.file = 1;
+    close.type = OpType::Close;
+    stream.ops.push_back(close);
+
+    ClusterSim sim(configFor(ModelKind::Unified), 2);
+    const Metrics m = sim.run(stream);
+    EXPECT_EQ(m.absorbedDeletedBytes, kBlockSize);
+    EXPECT_EQ(m.serverWrites(WriteCause::EndOfTrace), kBlockSize);
+}
+
+TEST(ClusterSim, AppByteConservation)
+{
+    StreamBuilder b;
+    b.open(0, 0, 1, true)
+        .write(1, 0, 1, 0, 5000)
+        .write(2, 0, 1, 5000, 3000)
+        .read(3, 0, 1, 0, 8000)
+        .close(4, 0, 1);
+    ClusterSim sim(configFor(ModelKind::Volatile), 2);
+    const Metrics m = sim.run(b.stream());
+    EXPECT_EQ(m.appWriteBytes, 8000u);
+    EXPECT_EQ(m.appReadBytes, 8000u);
+}
+
+} // namespace
+} // namespace nvfs::core

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for Sprite's consistency engine: last-writer recalls,
+ * concurrent write-sharing enable/disable, and open/close
+ * bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/client/server_state.hpp"
+
+namespace nvfs::core {
+namespace {
+
+TEST(Consistency, FirstOpenNeedsNoRecall)
+{
+    ConsistencyEngine engine;
+    const auto actions = engine.onOpen(0, 1, 10, true);
+    EXPECT_EQ(actions.recallFrom, kNoClient);
+    EXPECT_FALSE(actions.disableCaching);
+}
+
+TEST(Consistency, SecondClientOpenRecallsLastWriter)
+{
+    ConsistencyEngine engine;
+    engine.onOpen(0, 1, 10, true);
+    engine.onWrite(0, 10);
+    engine.onClose(0, 1, 10);
+    EXPECT_EQ(engine.lastWriter(10), 0);
+
+    const auto actions = engine.onOpen(1, 2, 10, false);
+    EXPECT_EQ(actions.recallFrom, 0);
+    EXPECT_EQ(engine.lastWriter(10), kNoClient); // recalled
+}
+
+TEST(Consistency, SameClientReopenDoesNotRecall)
+{
+    ConsistencyEngine engine;
+    engine.onOpen(0, 1, 10, true);
+    engine.onWrite(0, 10);
+    engine.onClose(0, 1, 10);
+    const auto actions = engine.onOpen(0, 2, 10, false);
+    EXPECT_EQ(actions.recallFrom, kNoClient);
+    EXPECT_EQ(engine.lastWriter(10), 0); // still remembered
+}
+
+TEST(Consistency, ConcurrentWriteSharingDisablesCaching)
+{
+    ConsistencyEngine engine;
+    engine.onOpen(0, 1, 10, true);
+    EXPECT_FALSE(engine.cachingDisabled(10));
+    const auto actions = engine.onOpen(1, 2, 10, false);
+    EXPECT_TRUE(actions.disableCaching);
+    EXPECT_TRUE(engine.cachingDisabled(10));
+}
+
+TEST(Consistency, TwoReadersDoNotDisableCaching)
+{
+    ConsistencyEngine engine;
+    engine.onOpen(0, 1, 10, false);
+    const auto actions = engine.onOpen(1, 2, 10, false);
+    EXPECT_FALSE(actions.disableCaching);
+    EXPECT_FALSE(engine.cachingDisabled(10));
+}
+
+TEST(Consistency, ReaderThenWriterDisables)
+{
+    ConsistencyEngine engine;
+    engine.onOpen(0, 1, 10, false);
+    const auto actions = engine.onOpen(1, 2, 10, true);
+    EXPECT_TRUE(actions.disableCaching);
+}
+
+TEST(Consistency, CachingResumesAfterLastClose)
+{
+    ConsistencyEngine engine;
+    engine.onOpen(0, 1, 10, true);
+    engine.onOpen(1, 2, 10, true);
+    EXPECT_TRUE(engine.cachingDisabled(10));
+    engine.onClose(0, 1, 10);
+    EXPECT_TRUE(engine.cachingDisabled(10)); // client 1 still open
+    engine.onClose(1, 2, 10);
+    EXPECT_FALSE(engine.cachingDisabled(10));
+    EXPECT_EQ(engine.lastWriter(10), kNoClient);
+}
+
+TEST(Consistency, DisableHappensOnceWhileShared)
+{
+    ConsistencyEngine engine;
+    engine.onOpen(0, 1, 10, true);
+    const auto first = engine.onOpen(1, 2, 10, true);
+    EXPECT_TRUE(first.disableCaching);
+    const auto second = engine.onOpen(2, 3, 10, false);
+    EXPECT_FALSE(second.disableCaching); // already disabled
+    EXPECT_TRUE(engine.cachingDisabled(10));
+}
+
+TEST(Consistency, NestedOpensBySameProcess)
+{
+    ConsistencyEngine engine;
+    engine.onOpen(0, 1, 10, true);
+    engine.onOpen(0, 1, 10, false); // nested
+    engine.onClose(0, 1, 10);       // pops the read open
+    engine.onClose(0, 1, 10);       // pops the write open
+    // No sharing ever happened.
+    EXPECT_FALSE(engine.cachingDisabled(10));
+}
+
+TEST(Consistency, WriteDuringDisabledDoesNotSetWriter)
+{
+    ConsistencyEngine engine;
+    engine.onOpen(0, 1, 10, true);
+    engine.onOpen(1, 2, 10, true);
+    engine.onWrite(0, 10);
+    EXPECT_EQ(engine.lastWriter(10), kNoClient);
+}
+
+TEST(Consistency, ClearWriterOnlyMatchesOwner)
+{
+    ConsistencyEngine engine;
+    engine.onOpen(0, 1, 10, true);
+    engine.onWrite(0, 10);
+    engine.onClose(0, 1, 10);
+    engine.clearWriter(10, 5); // wrong client: no effect
+    EXPECT_EQ(engine.lastWriter(10), 0);
+    engine.clearWriter(10, 0);
+    EXPECT_EQ(engine.lastWriter(10), kNoClient);
+}
+
+TEST(Consistency, DeleteForgetsWriter)
+{
+    ConsistencyEngine engine;
+    engine.onOpen(0, 1, 10, true);
+    engine.onWrite(0, 10);
+    engine.onClose(0, 1, 10);
+    engine.onDelete(10);
+    EXPECT_EQ(engine.lastWriter(10), kNoClient);
+}
+
+TEST(Consistency, UnknownFileQueriesAreSafe)
+{
+    ConsistencyEngine engine;
+    EXPECT_FALSE(engine.cachingDisabled(99));
+    EXPECT_EQ(engine.lastWriter(99), kNoClient);
+    engine.onClose(0, 1, 99); // close of never-opened file: no-op
+    engine.onDelete(99);
+}
+
+} // namespace
+} // namespace nvfs::core

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Additional coverage: metrics merging, Sprite-compat pipeline parity
+ * in the cluster simulator, network-model edges, table formatter
+ * misuse, and randomized converter round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sim/experiments.hpp"
+#include "net/network_model.hpp"
+#include "nvram/cost.hpp"
+#include "prep/converter.hpp"
+#include "trace/validate.hpp"
+#include "util/table.hpp"
+
+namespace nvfs {
+namespace {
+
+TEST(MetricsMerge, SumsEveryCounter)
+{
+    core::Metrics a, b;
+    a.appWriteBytes = 100;
+    a.addServerWrite(core::WriteCause::Fsync, 10);
+    a.nvramReadAccesses = 3;
+    a.lostDirtyBytes = 7;
+    b.appWriteBytes = 50;
+    b.addServerWrite(core::WriteCause::Fsync, 5);
+    b.addServerWrite(core::WriteCause::Callback, 20);
+    b.serverReadBytes = 99;
+    b.cacheToNvramBytes = 4;
+
+    a.merge(b);
+    EXPECT_EQ(a.appWriteBytes, 150u);
+    EXPECT_EQ(a.serverWrites(core::WriteCause::Fsync), 15u);
+    EXPECT_EQ(a.serverWrites(core::WriteCause::Callback), 20u);
+    EXPECT_EQ(a.totalServerWrites(), 35u);
+    EXPECT_EQ(a.serverReadBytes, 99u);
+    EXPECT_EQ(a.nvramReadAccesses, 3u);
+    EXPECT_EQ(a.lostDirtyBytes, 7u);
+    EXPECT_EQ(a.cacheToNvramBytes, 4u);
+}
+
+TEST(MetricsPercents, ZeroDenominatorsAreSafe)
+{
+    const core::Metrics empty;
+    EXPECT_DOUBLE_EQ(empty.netWriteTrafficPct(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.netTotalTrafficPct(), 0.0);
+}
+
+TEST(CauseNames, AllDistinct)
+{
+    std::set<std::string> names;
+    for (int c = 0; c < static_cast<int>(core::WriteCause::Count_);
+         ++c) {
+        names.insert(
+            core::writeCauseName(static_cast<core::WriteCause>(c)));
+    }
+    EXPECT_EQ(names.size(),
+              static_cast<std::size_t>(core::WriteCause::Count_));
+}
+
+TEST(CompatParity, ClusterSimAgreesAcrossDialects)
+{
+    // The offset-deduction pipeline must land within a few percent of
+    // the explicit pipeline on the headline result (timing coarseness
+    // shifts a little absorption around, nothing more).
+    const auto &explicit_ops = core::standardOps(7, 0.03, false);
+    const auto &compat_ops = core::standardOps(7, 0.03, true);
+
+    core::ModelConfig model;
+    model.kind = core::ModelKind::Unified;
+    model.volatileBytes = 8 * kMiB;
+    model.nvramBytes = kMiB;
+    const auto a = core::runClientSim(explicit_ops, model);
+    const auto b = core::runClientSim(compat_ops, model);
+
+    EXPECT_EQ(a.appWriteBytes, b.appWriteBytes);
+    EXPECT_NEAR(a.netWriteTrafficPct(), b.netWriteTrafficPct(), 6.0);
+    EXPECT_NEAR(a.netTotalTrafficPct(), b.netTotalTrafficPct(), 6.0);
+}
+
+TEST(Network, ZeroIntervalUtilizationIsZero)
+{
+    const net::NetworkModel wire;
+    EXPECT_DOUBLE_EQ(wire.utilization(kMiB, 0), 0.0);
+    EXPECT_DOUBLE_EQ(wire.utilization(kMiB, -5), 0.0);
+}
+
+TEST(Network, FasterLinkShrinksWireTime)
+{
+    net::NetworkParams fast;
+    fast.bandwidthMbps = 100.0;
+    const net::NetworkModel slow_wire;
+    const net::NetworkModel fast_wire(fast);
+    EXPECT_LT(fast_wire.transfer(kMiB).wireMs,
+              slow_wire.transfer(kMiB).wireMs);
+    // RPC overhead unchanged.
+    EXPECT_DOUBLE_EQ(fast_wire.transfer(kMiB).rpcMs,
+                     slow_wire.transfer(kMiB).rpcMs);
+}
+
+TEST(TextTable, RowWidthMismatchPanics)
+{
+    EXPECT_DEATH(
+        {
+            util::TextTable table({"a", "b"});
+            table.addRow({"only one"});
+        },
+        "row width mismatch");
+}
+
+class ConverterRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ConverterRoundTrip, RandomSessionsConvertConsistently)
+{
+    // Build random well-formed sessions in BOTH dialects from the
+    // same logical description and require byte-identical totals.
+    util::Rng rng(GetParam());
+    trace::TraceBuffer explicit_buf, compat_buf;
+    TimeUs t = 0;
+    Bytes expected_reads = 0, expected_writes = 0;
+
+    for (int session = 0; session < 200; ++session) {
+        const auto file = static_cast<FileId>(session);
+        const bool is_write = rng.chance(0.4);
+        const Bytes offset = rng.uniformInt(0, 4) * kBlockSize;
+        const Bytes length = 1 + rng.uniformInt(0, 3 * kBlockSize);
+        (is_write ? expected_writes : expected_reads) += length;
+        t += 1000 + rng.uniformInt(0, 50000);
+
+        trace::Event open;
+        open.time = t;
+        open.client = static_cast<ClientId>(rng.uniformInt(0, 3));
+        open.pid = static_cast<ProcId>(session + 1);
+        open.file = file;
+        open.offset = offset;
+        open.flags = is_write ? trace::kOpenWrite : trace::kOpenRead;
+        open.type = trace::EventType::Open;
+
+        trace::Event close = open;
+        close.time = t + 500;
+        close.type = trace::EventType::Close;
+        close.offset = offset + length;
+        close.flags = is_write ? prep::kDirtyHint : 0;
+
+        // Compat: open/close only.
+        compat_buf.push(open);
+        compat_buf.push(close);
+
+        // Explicit: open, one I/O event, close.
+        trace::Event io = open;
+        io.time = t + 250;
+        io.type = is_write ? trace::EventType::Write
+                           : trace::EventType::Read;
+        io.offset = offset;
+        io.length = length;
+        explicit_buf.push(open);
+        explicit_buf.push(io);
+        trace::Event eclose = close;
+        eclose.flags = 0;
+        explicit_buf.push(eclose);
+    }
+
+    EXPECT_TRUE(trace::validateTrace(explicit_buf).ok());
+    EXPECT_TRUE(trace::validateTrace(compat_buf).ok());
+
+    prep::ConvertStats compat_stats;
+    const auto explicit_ops = prep::convertTrace(explicit_buf);
+    const auto compat_ops = prep::convertTrace(compat_buf,
+                                               &compat_stats);
+
+    const auto te = prep::totals(explicit_ops);
+    const auto tc = prep::totals(compat_ops);
+    EXPECT_EQ(te.writeBytes, expected_writes);
+    EXPECT_EQ(te.readBytes, expected_reads);
+    EXPECT_EQ(tc.writeBytes, expected_writes);
+    EXPECT_EQ(tc.readBytes, expected_reads);
+    EXPECT_EQ(compat_stats.deducedWriteBytes +
+                  compat_stats.deducedReadBytes,
+              expected_writes + expected_reads);
+    EXPECT_EQ(compat_stats.orphanEvents, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConverterRoundTrip,
+                         ::testing::Values(7, 77, 777));
+
+TEST(CostEffectiveness, ZeroSizePanics)
+{
+    const std::vector<nvram::CurvePoint> curve = {{0, 50}, {8, 40}};
+    EXPECT_DEATH(nvram::breakEvenPriceRatio(curve, curve, 0.0),
+                 "positive NVRAM size");
+}
+
+} // namespace
+} // namespace nvfs

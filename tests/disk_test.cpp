@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the disk model and scheduler, anchored to the
+ * Solworth & Orji numbers the paper cites.
+ */
+
+#include <gtest/gtest.h>
+
+#include "disk/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace nvfs::disk {
+namespace {
+
+TEST(DiskModel, RotationAndTransfer)
+{
+    DiskModel model;
+    // 4400 RPM: half a rotation = 30000/4400 ms.
+    EXPECT_NEAR(model.avgRotationMs(), 30000.0 / 4400.0, 1e-9);
+    // 1.6 MB/s: one MiB takes 625 ms.
+    EXPECT_NEAR(model.transferMs(kMiB), 625.0, 1.0);
+}
+
+TEST(DiskModel, SeekGrowsWithDistance)
+{
+    DiskModel model;
+    EXPECT_DOUBLE_EQ(model.seekMs(100, 100), 0.0);
+    const double near = model.seekMs(100, 101);
+    const double far = model.seekMs(0, model.params().cylinders - 1);
+    EXPECT_GT(near, 0.0);
+    EXPECT_GT(far, near);
+    EXPECT_GE(far, model.params().avgSeekMs);
+}
+
+TEST(DiskModel, SequentialBeatsRandom)
+{
+    DiskModel model;
+    const double random = model.serviceRandom(kBlockSize).totalMs();
+    const double sequential =
+        model.serviceSequential(kBlockSize).totalMs();
+    EXPECT_LT(sequential, random);
+}
+
+TEST(DiskModel, UtilizationOfRandomSmallWritesIsLow)
+{
+    // The paper cites [20]: ~7% of bandwidth for random block writes.
+    DiskModel model;
+    const double util = unbufferedUtilization(model, kBlockSize);
+    EXPECT_GT(util, 0.02);
+    EXPECT_LT(util, 0.20);
+}
+
+TEST(DiskModel, FullSegmentWriteNearsMediaRate)
+{
+    DiskModel model;
+    const double util =
+        model.serviceSequential(512 * kKiB).utilization();
+    EXPECT_GT(util, 0.9);
+}
+
+TEST(Scheduler, ElevatorNeverSlowerThanFifo)
+{
+    DiskModel model;
+    util::Rng rng(4);
+    for (int round = 0; round < 10; ++round) {
+        std::vector<DiskRequest> requests;
+        for (int i = 0; i < 200; ++i) {
+            requests.push_back(
+                {static_cast<std::uint32_t>(rng.uniformInt(
+                     0, model.params().cylinders - 1)),
+                 kBlockSize});
+        }
+        const double fifo =
+            serviceBatch(model, requests, Schedule::Fifo).totalMs();
+        const double elevator =
+            serviceBatch(model, requests, Schedule::Elevator)
+                .totalMs();
+        EXPECT_LE(elevator, fifo);
+    }
+}
+
+TEST(Scheduler, SortedThousandIosMultiplyUtilization)
+{
+    // The [20] claim: buffering+sorting 1000 writes lifts utilization
+    // from ~7% to ~40%.
+    DiskModel model;
+    util::Rng rng(5);
+    std::vector<DiskRequest> requests;
+    for (int i = 0; i < 1000; ++i) {
+        requests.push_back(
+            {static_cast<std::uint32_t>(rng.uniformInt(
+                 0, model.params().cylinders - 1)),
+             kBlockSize});
+    }
+    const double base = unbufferedUtilization(model, kBlockSize);
+    const double sorted =
+        serviceBatch(model, requests, Schedule::Elevator)
+            .utilization();
+    EXPECT_GT(sorted, 3.0 * base);
+    EXPECT_GT(sorted, 0.2);
+    EXPECT_LT(sorted, 0.8);
+}
+
+TEST(Scheduler, EmptyBatch)
+{
+    DiskModel model;
+    const ServiceTime t = serviceBatch(model, {}, Schedule::Elevator);
+    EXPECT_DOUBLE_EQ(t.totalMs(), 0.0);
+    EXPECT_DOUBLE_EQ(t.utilization(), 0.0);
+}
+
+} // namespace
+} // namespace nvfs::disk

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Error-path coverage: fatal() on malformed input (bad trace files,
+ * bad unit strings) and panic() on internal misuse, exercised as
+ * gtest death tests — a simulator that silently computes on corrupt
+ * state is worse than one that stops.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cache/block_cache.hpp"
+#include "core/sim/experiments.hpp"
+#include "trace/stream.hpp"
+#include "util/units.hpp"
+#include "workload/profile.hpp"
+
+namespace nvfs {
+namespace {
+
+TEST(ErrorHandling, BadMagicIsFatal)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "nvfs_bad_magic.trace";
+    {
+        std::ofstream out(path, std::ios::binary);
+        const char junk[64] = "this is not a trace file at all";
+        out.write(junk, sizeof(junk));
+    }
+    EXPECT_EXIT(trace::readTraceFile(path.string()),
+                ::testing::ExitedWithCode(1), "bad magic");
+    std::filesystem::remove(path);
+}
+
+TEST(ErrorHandling, TruncatedRecordIsFatal)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "nvfs_truncated.trace";
+    {
+        trace::TraceBuffer buffer;
+        trace::Event event;
+        event.type = trace::EventType::Delete;
+        buffer.push(event);
+        trace::writeTraceFile(path.string(), buffer);
+        // Chop the last few bytes off.
+        std::filesystem::resize_file(
+            path, std::filesystem::file_size(path) - 5);
+    }
+    EXPECT_EXIT(trace::readTraceFile(path.string()),
+                ::testing::ExitedWithCode(1), "truncated");
+    std::filesystem::remove(path);
+}
+
+TEST(ErrorHandling, MissingFileIsFatal)
+{
+    EXPECT_EXIT(trace::readTraceFile("/nonexistent/nvfs.trace"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(ErrorHandling, BadUnitSuffixIsFatal)
+{
+    EXPECT_EXIT(util::parseBytes("12XB"),
+                ::testing::ExitedWithCode(1), "unknown byte suffix");
+    EXPECT_EXIT(util::parseDuration("5 fortnights"),
+                ::testing::ExitedWithCode(1),
+                "unknown duration suffix");
+    EXPECT_EXIT(util::parseBytes("notanumber"),
+                ::testing::ExitedWithCode(1), "cannot parse");
+}
+
+TEST(ErrorHandling, CacheMisusePanics)
+{
+    // panic() aborts (simulator bug, not user error).
+    EXPECT_DEATH(
+        {
+            cache::BlockCache cache(1);
+            cache.insert({1, 0}, 1);
+            cache.insert({2, 0}, 2); // full: must evict first
+        },
+        "insert into full cache");
+    EXPECT_DEATH(
+        {
+            cache::BlockCache cache(4);
+            cache.touch({9, 9}, 1); // not resident
+        },
+        "not resident");
+}
+
+TEST(ErrorHandling, BadTraceNumberPanics)
+{
+    EXPECT_DEATH(workload::standardProfile(9, 1.0), "out of range");
+    EXPECT_DEATH(workload::standardProfile(0, 1.0), "out of range");
+}
+
+TEST(OpsWithSeed, DistinctSeedsDistinctTraces)
+{
+    const auto a = core::opsWithSeed(7, 0.02, 1);
+    const auto b = core::opsWithSeed(7, 0.02, 2);
+    const auto a2 = core::opsWithSeed(7, 0.02, 1);
+    EXPECT_EQ(a.ops.size(), a2.ops.size());
+    EXPECT_NE(a.ops.size(), b.ops.size());
+}
+
+} // namespace
+} // namespace nvfs

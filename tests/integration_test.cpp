@@ -1,0 +1,200 @@
+/**
+ * @file
+ * End-to-end integration tests: generate a standard trace, run it
+ * through the full pipeline (validation, pass 1, lifetime analysis,
+ * the three cluster simulations, the server study) and check the
+ * cross-module relationships the paper's results rest on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sim/experiments.hpp"
+#include "prep/converter.hpp"
+#include "trace/validate.hpp"
+#include "workload/generator.hpp"
+
+namespace nvfs {
+namespace {
+
+constexpr double kScale = 0.03;
+constexpr int kTrace = 7;
+
+core::ModelConfig
+model(core::ModelKind kind, Bytes nvram = kMiB)
+{
+    core::ModelConfig config;
+    config.kind = kind;
+    config.volatileBytes = 8 * kMiB;
+    config.nvramBytes = nvram;
+    return config;
+}
+
+TEST(Pipeline, AppBytesMatchGeneratorTotals)
+{
+    const auto &ops = core::standardOps(kTrace, kScale);
+    const auto totals = prep::totals(ops);
+    const core::Metrics m = core::runClientSim(
+        ops, model(core::ModelKind::Volatile));
+    EXPECT_EQ(m.appWriteBytes, totals.writeBytes);
+    EXPECT_EQ(m.appReadBytes, totals.readBytes);
+}
+
+TEST(Pipeline, NvramModelsBeatVolatileOnWriteTraffic)
+{
+    const auto &ops = core::standardOps(kTrace, kScale);
+    const double vol =
+        core::runClientSim(ops, model(core::ModelKind::Volatile))
+            .netWriteTrafficPct();
+    const double wa =
+        core::runClientSim(ops, model(core::ModelKind::WriteAside))
+            .netWriteTrafficPct();
+    const double uni =
+        core::runClientSim(ops, model(core::ModelKind::Unified))
+            .netWriteTrafficPct();
+    // One megabyte of NVRAM substantially reduces write traffic
+    // (the paper's headline: 40-50% less).
+    EXPECT_LT(wa, 0.75 * vol);
+    EXPECT_LT(uni, 0.75 * vol);
+}
+
+TEST(Pipeline, UnifiedBeatsWriteAsideOnTotalTraffic)
+{
+    // Use a cache well below the scaled-down trace's read working
+    // set so capacity misses occur — the regime where the unified
+    // model's clean-block caching in NVRAM pays off.
+    const auto &ops = core::standardOps(kTrace, 0.1);
+    auto wa_config = model(core::ModelKind::WriteAside, kMiB);
+    auto uni_config = model(core::ModelKind::Unified, kMiB);
+    wa_config.volatileBytes = kMiB;
+    uni_config.volatileBytes = kMiB;
+    const double wa =
+        core::runClientSim(ops, wa_config).netTotalTrafficPct();
+    const double uni =
+        core::runClientSim(ops, uni_config).netTotalTrafficPct();
+    EXPECT_LT(uni, wa);
+}
+
+TEST(Pipeline, UnifiedMakesMoreNvramAccessesThanWriteAside)
+{
+    const auto &ops = core::standardOps(kTrace, kScale);
+    const auto wa = core::runClientSim(
+        ops, model(core::ModelKind::WriteAside, 8 * kMiB));
+    const auto uni = core::runClientSim(
+        ops, model(core::ModelKind::Unified, 8 * kMiB));
+    const auto accesses = [](const core::Metrics &m) {
+        return m.nvramReadAccesses + m.nvramWriteAccesses;
+    };
+    EXPECT_GT(accesses(uni), accesses(wa));
+    // Write-aside writes both memories: more bus traffic.
+    EXPECT_GT(wa.busBytes, uni.busBytes);
+    // Cache->NVRAM promotions are rare (paper: < 1% of writes).
+    EXPECT_LT(static_cast<double>(uni.cacheToNvramBytes),
+              0.05 * static_cast<double>(uni.appWriteBytes));
+}
+
+TEST(Pipeline, MoreNvramNeverHurtsWriteTraffic)
+{
+    const auto &ops = core::standardOps(kTrace, kScale);
+    double last = 1e9;
+    for (const Bytes nvram :
+         {Bytes{128 * kKiB}, Bytes{512 * kKiB}, Bytes{2 * kMiB},
+          Bytes{8 * kMiB}}) {
+        const double traffic =
+            core::runClientSim(ops,
+                               model(core::ModelKind::Unified, nvram))
+                .netWriteTrafficPct();
+        EXPECT_LT(traffic, last * 1.02); // allow tiny noise
+        last = traffic;
+    }
+}
+
+TEST(Pipeline, OmniscientAtLeastAsGoodAsLru)
+{
+    const auto &ops = core::standardOps(kTrace, kScale);
+    const auto &oracle = core::standardOracle(kTrace, kScale);
+    for (const Bytes nvram : {Bytes{256 * kKiB}, Bytes{kMiB}}) {
+        auto lru = model(core::ModelKind::Unified, nvram);
+        auto omni = lru;
+        omni.nvramPolicy = cache::PolicyKind::Omniscient;
+        omni.oracle = &oracle;
+        const double lru_traffic =
+            core::runClientSim(ops, lru).netWriteTrafficPct();
+        const double omni_traffic =
+            core::runClientSim(ops, omni).netWriteTrafficPct();
+        EXPECT_LE(omni_traffic, lru_traffic * 1.05);
+    }
+}
+
+TEST(Pipeline, InfiniteCacheBoundsFiniteAbsorption)
+{
+    // A finite NVRAM can never absorb more than the lifetime pass's
+    // infinite cache says is absorbable.
+    const auto &ops = core::standardOps(kTrace, kScale);
+    const auto &life = core::standardLifetimes(kTrace, kScale);
+    const double floor_pct =
+        100.0 *
+        (1.0 - static_cast<double>(life.absorbedBytes()) /
+                   static_cast<double>(life.totalWritten));
+    const double finite =
+        core::runClientSim(ops, model(core::ModelKind::Unified,
+                                      16 * kMiB))
+            .netWriteTrafficPct();
+    EXPECT_GE(finite, floor_pct - 1.0);
+}
+
+TEST(Pipeline, SpriteCompatPipelineAgreesOnLifetimes)
+{
+    // The offset-deduction dialect must produce the same byte-fate
+    // totals as the explicit dialect (same generator seed).
+    const auto &explicit_ops = core::standardOps(5, kScale, false);
+    const auto &compat_ops = core::standardOps(5, kScale, true);
+    const auto explicit_life = core::analyzeLifetimes(explicit_ops);
+    const auto compat_life = core::analyzeLifetimes(compat_ops);
+    EXPECT_EQ(explicit_life.totalWritten, compat_life.totalWritten);
+    // Fates may differ slightly because compat attributes a session's
+    // bytes at close time; totals must still be close.
+    for (int f = 0; f < static_cast<int>(core::ByteFate::Count_);
+         ++f) {
+        const auto fate = static_cast<core::ByteFate>(f);
+        const double a = static_cast<double>(
+            explicit_life.fateBytes(fate));
+        const double b = static_cast<double>(
+            compat_life.fateBytes(fate));
+        EXPECT_NEAR(a, b,
+                    0.15 * static_cast<double>(
+                               explicit_life.totalWritten) +
+                        1.0)
+            << core::byteFateName(fate);
+    }
+}
+
+TEST(Pipeline, ServerBufferNeverIncreasesDiskWrites)
+{
+    const auto baseline =
+        core::runServerSim(4 * kUsPerHour, 0.3, 0);
+    const auto buffered =
+        core::runServerSim(4 * kUsPerHour, 0.3, 512 * kKiB);
+    EXPECT_LE(buffered.totalDiskWrites, baseline.totalDiskWrites);
+    // /user6 (fs 0) sees the dramatic reduction.
+    EXPECT_LT(static_cast<double>(buffered.fs[0].diskWrites()),
+              0.5 * static_cast<double>(baseline.fs[0].diskWrites()));
+}
+
+TEST(Pipeline, ServerDataVolumeIndependentOfBuffer)
+{
+    const auto baseline =
+        core::runServerSim(2 * kUsPerHour, 0.3, 0, 13);
+    const auto buffered =
+        core::runServerSim(2 * kUsPerHour, 0.3, 512 * kKiB, 13);
+    EXPECT_EQ(baseline.totalDataBytes, buffered.totalDataBytes);
+}
+
+TEST(Pipeline, StandardOpsAreMemoized)
+{
+    const auto &a = core::standardOps(kTrace, kScale);
+    const auto &b = core::standardOps(kTrace, kScale);
+    EXPECT_EQ(&a, &b);
+}
+
+} // namespace
+} // namespace nvfs

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Unit tests for the log-structured file system: segment sealing and
+ * classification, metadata/summary accounting, deletion semantics,
+ * the inode map, the cleaner, and crash recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lfs/cleaner.hpp"
+#include "lfs/log.hpp"
+#include "lfs/recovery.hpp"
+
+namespace nvfs::lfs {
+namespace {
+
+LfsConfig
+smallConfig(std::uint32_t disk_segments = 0)
+{
+    LfsConfig config;
+    config.segmentBytes = 64 * kKiB; // 16 blocks: easy to fill
+    config.diskSegments = disk_segments;
+    return config;
+}
+
+TEST(InodeMap, UpdateReturnsPrevious)
+{
+    InodeMap map;
+    EXPECT_FALSE(map.locate(1, 0).has_value());
+    EXPECT_FALSE(map.update(1, 0, {5, 2}).has_value());
+    const auto old = map.update(1, 0, {6, 0});
+    ASSERT_TRUE(old.has_value());
+    EXPECT_EQ(*old, (SegmentAddress{5, 2}));
+    EXPECT_EQ(*map.locate(1, 0), (SegmentAddress{6, 0}));
+}
+
+TEST(InodeMap, RemoveFileReturnsAllAddresses)
+{
+    InodeMap map;
+    map.update(1, 0, {0, 0});
+    map.update(1, 1, {0, 1});
+    map.update(2, 0, {0, 2});
+    const auto removed = map.removeFile(1);
+    EXPECT_EQ(removed.size(), 2u);
+    EXPECT_EQ(map.fileCount(), 1u);
+    EXPECT_EQ(map.blockCount(), 1u);
+}
+
+TEST(InodeMap, TruncateDropsTail)
+{
+    InodeMap map;
+    for (std::uint32_t b = 0; b < 5; ++b)
+        map.update(1, b, {0, b});
+    const auto dropped = map.truncate(1, 2);
+    EXPECT_EQ(dropped.size(), 3u);
+    EXPECT_TRUE(map.locate(1, 1).has_value());
+    EXPECT_FALSE(map.locate(1, 2).has_value());
+}
+
+TEST(InodeMap, Equality)
+{
+    InodeMap a, b;
+    a.update(1, 0, {0, 0});
+    EXPECT_FALSE(a == b);
+    b.update(1, 0, {0, 0});
+    EXPECT_TRUE(a == b);
+}
+
+TEST(LfsLog, ForcedSealIsPartial)
+{
+    LfsLog log(smallConfig());
+    log.writeBlock(1, 0, kBlockSize);
+    EXPECT_EQ(log.pendingBytes(), kBlockSize);
+    EXPECT_TRUE(log.seal(SealCause::Fsync));
+    EXPECT_EQ(log.pendingBytes(), 0u);
+
+    const LogStats &stats = log.stats();
+    EXPECT_EQ(stats.segmentsWritten, 1u);
+    EXPECT_EQ(stats.partialSegments, 1u);
+    EXPECT_EQ(stats.partialsByFsync, 1u);
+    EXPECT_EQ(stats.fullSegments, 0u);
+    EXPECT_EQ(stats.fsyncDataBytes, kBlockSize);
+}
+
+TEST(LfsLog, AutoSealOnFullSegment)
+{
+    LfsLog log(smallConfig());
+    // 64 KB segment: metadata (4 KB) + summary leave room for ~14
+    // blocks; writing 20 blocks must force at least one Full seal.
+    for (std::uint32_t b = 0; b < 20; ++b)
+        log.writeBlock(1, b, kBlockSize);
+    EXPECT_GE(log.stats().fullSegments, 1u);
+    EXPECT_EQ(log.stats().partialSegments, 0u);
+    EXPECT_GT(log.pendingBytes(), 0u); // remainder still pending
+}
+
+TEST(LfsLog, SealOnEmptyLogIsNoop)
+{
+    LfsLog log(smallConfig());
+    EXPECT_FALSE(log.seal(SealCause::Timeout));
+    EXPECT_EQ(log.stats().segmentsWritten, 0u);
+}
+
+TEST(LfsLog, MetadataChargedPerFile)
+{
+    LfsLog log(smallConfig());
+    log.writeBlock(1, 0, kBlockSize);
+    log.writeBlock(2, 0, kBlockSize);
+    log.writeBlock(3, 0, kBlockSize);
+    log.seal(SealCause::Timeout);
+    const Segment &segment = log.segments().back();
+    // One metadata block per distinct file plus the summary.
+    EXPECT_EQ(segment.metadataBytes, 3 * kBlockSize);
+    EXPECT_EQ(segment.summaryBytes, 512u);
+    EXPECT_EQ(segment.dataBytes, 3 * kBlockSize);
+}
+
+TEST(LfsLog, PendingOverwriteCoalesces)
+{
+    LfsLog log(smallConfig());
+    log.writeBlock(1, 0, 1000);
+    log.writeBlock(1, 0, 3000); // same block, more bytes
+    EXPECT_EQ(log.pendingBytes(), 3000u);
+    log.seal(SealCause::Timeout);
+    EXPECT_EQ(log.segments().back().dataBytes, 3000u);
+}
+
+TEST(LfsLog, OverwriteDeadensOldCopy)
+{
+    LfsLog log(smallConfig());
+    log.writeBlock(1, 0, kBlockSize);
+    log.seal(SealCause::Timeout);
+    log.writeBlock(1, 0, kBlockSize);
+    log.seal(SealCause::Timeout);
+    EXPECT_EQ(log.segments()[0].liveBytes, 0u);
+    EXPECT_EQ(log.segments()[1].liveBytes, kBlockSize);
+    log.checkInvariants();
+}
+
+TEST(LfsLog, DeleteDropsPendingAndDeadensSealed)
+{
+    LfsLog log(smallConfig());
+    log.writeBlock(1, 0, kBlockSize);
+    log.seal(SealCause::Timeout);
+    log.writeBlock(1, 1, kBlockSize); // pending
+    log.writeBlock(2, 0, kBlockSize); // pending, other file
+    log.deleteFile(1);
+    EXPECT_EQ(log.pendingBytes(), kBlockSize); // only file 2 remains
+    EXPECT_EQ(log.segments()[0].liveBytes, 0u);
+    EXPECT_FALSE(log.inodes().locate(1, 0).has_value());
+    log.checkInvariants();
+}
+
+TEST(LfsLog, TruncateKillsTailBlocks)
+{
+    LfsLog log(smallConfig());
+    for (std::uint32_t b = 0; b < 4; ++b)
+        log.writeBlock(1, b, kBlockSize);
+    log.seal(SealCause::Timeout);
+    log.truncate(1, 2 * kBlockSize + 1); // keeps blocks 0..2
+    EXPECT_TRUE(log.inodes().locate(1, 2).has_value());
+    EXPECT_FALSE(log.inodes().locate(1, 3).has_value());
+    EXPECT_EQ(log.segments()[0].liveBytes, 3 * kBlockSize);
+    log.checkInvariants();
+}
+
+TEST(LfsLog, StatsDiskBytesAddUp)
+{
+    LfsLog log(smallConfig());
+    log.writeBlock(1, 0, 2048);
+    log.seal(SealCause::Fsync);
+    const LogStats &stats = log.stats();
+    EXPECT_EQ(stats.diskBytes(),
+              stats.dataBytes + stats.metadataBytes +
+                  stats.summaryBytes);
+    EXPECT_EQ(stats.dataBytes, 2048u);
+    EXPECT_EQ(stats.metadataBytes, kBlockSize);
+    EXPECT_EQ(stats.summaryBytes, 512u);
+}
+
+TEST(LfsLog, SealCauseNames)
+{
+    EXPECT_EQ(sealCauseName(SealCause::Full), "full");
+    EXPECT_EQ(sealCauseName(SealCause::Fsync), "fsync");
+    EXPECT_EQ(sealCauseName(SealCause::Timeout), "timeout");
+    EXPECT_EQ(sealCauseName(SealCause::Cleaner), "cleaner");
+}
+
+// ------------------------------------------------------------ cleaner
+
+TEST(Cleaner, ReclaimsDeadSegments)
+{
+    LfsLog log(smallConfig(32));
+    // Write two segments of data and delete everything.
+    for (std::uint32_t b = 0; b < 14; ++b)
+        log.writeBlock(1, b, kBlockSize);
+    log.seal(SealCause::Timeout);
+    log.deleteFile(1);
+
+    Cleaner cleaner;
+    const CleanResult result = cleaner.clean(log, 31, true);
+    EXPECT_GE(result.segmentsReclaimed, 1u);
+    EXPECT_EQ(result.liveBytesCopied, 0u); // nothing was live
+    log.checkInvariants();
+}
+
+TEST(Cleaner, CopiesLiveDataForward)
+{
+    LfsLog log(smallConfig(32));
+    for (std::uint32_t b = 0; b < 10; ++b)
+        log.writeBlock(1, b, kBlockSize);
+    log.seal(SealCause::Timeout);
+    // Kill most, keep blocks 0 and 1 live.
+    log.truncate(1, 2 * kBlockSize);
+
+    Cleaner cleaner;
+    const CleanResult result = cleaner.clean(log, 32, true);
+    EXPECT_EQ(result.liveBytesCopied, 2 * kBlockSize);
+    // The inode map now points into a cleaner segment.
+    const auto address = log.inodes().locate(1, 0);
+    ASSERT_TRUE(address.has_value());
+    EXPECT_GT(address->segment, 0u);
+    EXPECT_TRUE(log.segments()[0].reclaimed);
+    EXPECT_GE(log.stats().cleanerSegments, 1u);
+    log.checkInvariants();
+}
+
+TEST(Cleaner, MaybeCleanIdleAboveLowWater)
+{
+    LfsLog log(smallConfig(100));
+    log.writeBlock(1, 0, kBlockSize);
+    log.seal(SealCause::Timeout);
+    Cleaner cleaner;
+    const CleanResult result = cleaner.maybeClean(log);
+    EXPECT_EQ(result.segmentsReclaimed, 0u);
+}
+
+TEST(Cleaner, UnboundedDiskNoopWithoutForce)
+{
+    LfsLog log(smallConfig(0));
+    log.writeBlock(1, 0, kBlockSize);
+    log.seal(SealCause::Timeout);
+    log.deleteFile(1);
+    Cleaner cleaner;
+    EXPECT_EQ(cleaner.clean(log, 10).segmentsReclaimed, 0u);
+}
+
+// ----------------------------------------------------------- recovery
+
+TEST(Recovery, RollForwardRebuildsInodeMap)
+{
+    LfsLog log(smallConfig());
+    log.writeBlock(1, 0, kBlockSize);
+    log.writeBlock(1, 1, 2000);
+    log.seal(SealCause::Timeout);
+    log.writeBlock(2, 0, kBlockSize);
+    log.seal(SealCause::Fsync);
+
+    const RecoveryResult result = rollForward(log);
+    EXPECT_TRUE(result.inodes == log.inodes());
+    EXPECT_EQ(result.segmentsReplayed, 2u);
+}
+
+TEST(Recovery, UnsealedDataIsLost)
+{
+    LfsLog log(smallConfig());
+    log.writeBlock(1, 0, kBlockSize);
+    log.seal(SealCause::Timeout);
+    log.writeBlock(2, 0, kBlockSize); // never sealed: lost in a crash
+
+    const RecoveryResult result = rollForward(log);
+    EXPECT_TRUE(result.inodes.locate(1, 0).has_value());
+    EXPECT_FALSE(result.inodes.locate(2, 0).has_value());
+}
+
+TEST(Recovery, ReplaysDeletes)
+{
+    LfsLog log(smallConfig());
+    log.writeBlock(1, 0, kBlockSize);
+    log.seal(SealCause::Timeout);
+    log.deleteFile(1);
+    log.writeBlock(2, 0, kBlockSize); // carries the delete record
+    log.seal(SealCause::Timeout);
+
+    const RecoveryResult result = rollForward(log);
+    EXPECT_TRUE(result.inodes == log.inodes());
+    EXPECT_FALSE(result.inodes.locate(1, 0).has_value());
+    EXPECT_GE(result.metaOpsReplayed, 1u);
+}
+
+TEST(Recovery, WriteDeleteRewriteWithinOneSegment)
+{
+    // The tricky interleaving: write A, delete the file, write B to
+    // the same block, all before one seal.  Recovery must keep B.
+    LfsLog log(smallConfig());
+    log.writeBlock(1, 0, 1000);
+    log.deleteFile(1);
+    log.writeBlock(1, 0, 2000);
+    log.seal(SealCause::Timeout);
+
+    const RecoveryResult result = rollForward(log);
+    EXPECT_TRUE(result.inodes == log.inodes());
+    ASSERT_TRUE(result.inodes.locate(1, 0).has_value());
+}
+
+TEST(Recovery, WriteThenDeleteWithinOneSegment)
+{
+    LfsLog log(smallConfig());
+    log.writeBlock(1, 0, 1000);
+    log.deleteFile(1);
+    log.writeBlock(2, 0, 500);
+    log.seal(SealCause::Timeout);
+
+    const RecoveryResult result = rollForward(log);
+    EXPECT_TRUE(result.inodes == log.inodes());
+    EXPECT_FALSE(result.inodes.locate(1, 0).has_value());
+}
+
+TEST(Recovery, CheckpointShortensReplay)
+{
+    LfsLog log(smallConfig());
+    log.writeBlock(1, 0, kBlockSize);
+    log.seal(SealCause::Timeout);
+    const Checkpoint checkpoint = log.takeCheckpoint();
+    log.writeBlock(2, 0, kBlockSize);
+    log.seal(SealCause::Timeout);
+
+    const RecoveryResult result = rollForward(log, &checkpoint);
+    EXPECT_TRUE(result.inodes == log.inodes());
+    EXPECT_EQ(result.segmentsReplayed,
+              log.segments().size() - checkpoint.nextSegment);
+}
+
+TEST(Recovery, AfterCleaningStillConsistent)
+{
+    LfsLog log(smallConfig(32));
+    for (std::uint32_t b = 0; b < 10; ++b)
+        log.writeBlock(1, b, kBlockSize);
+    log.seal(SealCause::Timeout);
+    log.truncate(1, 3 * kBlockSize);
+    Cleaner cleaner;
+    cleaner.clean(log, 32, true);
+    // Persist the truncate record with a follow-up segment.
+    log.writeBlock(3, 0, kBlockSize);
+    log.seal(SealCause::Timeout);
+
+    const RecoveryResult result = rollForward(log);
+    EXPECT_TRUE(result.inodes == log.inodes());
+}
+
+TEST(LfsLog, WriteBlockRangeUnionsDisjointHalves)
+{
+    // Two disjoint halves staged into one open segment must occupy
+    // the whole block, not max(half, half).
+    LfsLog log(smallConfig());
+    log.writeBlockRange(1, 0, 0, 2048);
+    log.writeBlockRange(1, 0, 2048, 4096);
+    EXPECT_EQ(log.pendingBytes(), 4096u);
+    log.seal(SealCause::Timeout);
+    EXPECT_EQ(log.segments().back().dataBytes, 4096u);
+}
+
+TEST(LfsLog, WriteBlockRangeOverlapCountsOnce)
+{
+    LfsLog log(smallConfig());
+    log.writeBlockRange(1, 0, 0, 3000);
+    log.writeBlockRange(1, 0, 1000, 2000); // fully inside
+    EXPECT_EQ(log.pendingBytes(), 3000u);
+}
+
+TEST(LfsLog, FreeSegmentsTracksActive)
+{
+    LfsLog log(smallConfig(4));
+    EXPECT_EQ(log.freeSegments(), 4u);
+    log.writeBlock(1, 0, kBlockSize);
+    log.seal(SealCause::Timeout);
+    EXPECT_EQ(log.freeSegments(), 3u);
+    EXPECT_EQ(log.activeSegments(), 1u);
+    log.deleteFile(1);
+    Cleaner cleaner;
+    cleaner.clean(log, 4, true);
+    EXPECT_EQ(log.freeSegments(), 4u);
+}
+
+TEST(LfsLog, SegmentUtilizationReflectsLiveFraction)
+{
+    LfsLog log(smallConfig());
+    log.writeBlock(1, 0, kBlockSize);
+    log.writeBlock(1, 1, kBlockSize);
+    log.seal(SealCause::Timeout);
+    EXPECT_DOUBLE_EQ(log.segments()[0].utilization(), 1.0);
+    log.writeBlock(1, 0, kBlockSize); // supersede half
+    log.seal(SealCause::Timeout);
+    EXPECT_DOUBLE_EQ(log.segments()[0].utilization(), 0.5);
+}
+
+} // namespace
+} // namespace nvfs::lfs
+

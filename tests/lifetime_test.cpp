@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Unit tests for the infinite-cache lifetime analysis and the
+ * omniscient oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lifetime/lifetime.hpp"
+#include "core/lifetime/next_modify.hpp"
+
+namespace nvfs::core {
+namespace {
+
+using prep::Op;
+using prep::OpType;
+
+Op
+op(TimeUs t, OpType type, ClientId c = 0, FileId f = 1, Bytes off = 0,
+   Bytes len = 0, ProcId pid = 1)
+{
+    Op o;
+    o.time = t;
+    o.type = type;
+    o.client = c;
+    o.pid = pid;
+    o.file = f;
+    o.offset = off;
+    o.length = len;
+    if (type == OpType::Open)
+        o.openForWrite = true;
+    return o;
+}
+
+prep::OpStream
+stream(std::vector<Op> ops)
+{
+    prep::OpStream s;
+    s.clientCount = 4;
+    s.ops = std::move(ops);
+    return s;
+}
+
+TEST(Lifetime, OverwriteKillsBytes)
+{
+    const auto result = analyzeLifetimes(stream({
+        op(0, OpType::Open),
+        op(secondsUs(1), OpType::Write, 0, 1, 0, 1000),
+        op(secondsUs(11), OpType::Write, 0, 1, 0, 1000),
+        op(secondsUs(12), OpType::Close),
+    }));
+    EXPECT_EQ(result.totalWritten, 2000u);
+    EXPECT_EQ(result.fateBytes(ByteFate::Overwritten), 1000u);
+    EXPECT_EQ(result.fateBytes(ByteFate::Remaining), 1000u);
+    // The overwritten run lived exactly 10 seconds.
+    bool found = false;
+    for (const auto &run : result.runs) {
+        if (run.fate == ByteFate::Overwritten) {
+            EXPECT_EQ(run.death - run.birth, secondsUs(10));
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Lifetime, DeleteKillsBytes)
+{
+    const auto result = analyzeLifetimes(stream({
+        op(0, OpType::Open),
+        op(1, OpType::Write, 0, 1, 0, 5000),
+        op(2, OpType::Close),
+        op(3, OpType::Delete),
+    }));
+    EXPECT_EQ(result.fateBytes(ByteFate::Deleted), 5000u);
+    EXPECT_EQ(result.absorbedBytes(), 5000u);
+}
+
+TEST(Lifetime, TruncateKillsTail)
+{
+    const auto result = analyzeLifetimes(stream({
+        op(0, OpType::Open),
+        op(1, OpType::Write, 0, 1, 0, 10000),
+        op(2, OpType::Truncate, 0, 1, 0, 4000),
+        op(3, OpType::Close),
+    }));
+    EXPECT_EQ(result.fateBytes(ByteFate::Deleted), 6000u);
+    EXPECT_EQ(result.fateBytes(ByteFate::Remaining), 4000u);
+}
+
+TEST(Lifetime, CrossClientOpenCallsBack)
+{
+    const auto result = analyzeLifetimes(stream({
+        op(0, OpType::Open, 0),
+        op(1, OpType::Write, 0, 1, 0, 3000),
+        op(2, OpType::Close, 0),
+        op(3, OpType::Open, 1, 1, 0, 0, 2),
+        op(4, OpType::Close, 1, 1, 0, 0, 2),
+    }));
+    EXPECT_EQ(result.fateBytes(ByteFate::CalledBack), 3000u);
+    EXPECT_EQ(result.fateBytes(ByteFate::Remaining), 0u);
+}
+
+TEST(Lifetime, ConcurrentSharingCountsImmediately)
+{
+    const auto result = analyzeLifetimes(stream({
+        op(0, OpType::Open, 0, 1, 0, 0, 1),
+        op(1, OpType::Open, 1, 1, 0, 0, 2),
+        op(2, OpType::Write, 0, 1, 0, 700),
+        op(3, OpType::Close, 0, 1, 0, 0, 1),
+        op(4, OpType::Close, 1, 1, 0, 0, 2),
+    }));
+    EXPECT_EQ(result.fateBytes(ByteFate::Concurrent), 700u);
+}
+
+TEST(Lifetime, MigrationFlushesAsCalledBack)
+{
+    Op mig;
+    mig.time = 5;
+    mig.type = OpType::Migrate;
+    mig.client = 0;
+    mig.pid = 1;
+    mig.targetClient = 2;
+    const auto result = analyzeLifetimes(stream({
+        op(0, OpType::Open),
+        op(1, OpType::Write, 0, 1, 0, 1234),
+        op(2, OpType::Close),
+        mig,
+    }));
+    EXPECT_EQ(result.fateBytes(ByteFate::CalledBack), 1234u);
+}
+
+TEST(Lifetime, FsyncIsAbsorbedByInfiniteNvram)
+{
+    const auto result = analyzeLifetimes(stream({
+        op(0, OpType::Open),
+        op(1, OpType::Write, 0, 1, 0, 100),
+        op(2, OpType::Fsync),
+        op(3, OpType::Close),
+        op(4, OpType::Delete),
+    }));
+    EXPECT_EQ(result.fateBytes(ByteFate::Deleted), 100u);
+    EXPECT_EQ(result.fateBytes(ByteFate::CalledBack), 0u);
+}
+
+TEST(Lifetime, FatesSumToTotalWritten)
+{
+    const auto result = analyzeLifetimes(stream({
+        op(0, OpType::Open),
+        op(1, OpType::Write, 0, 1, 0, 1000),
+        op(2, OpType::Write, 0, 1, 500, 1000),
+        op(3, OpType::Close),
+        op(4, OpType::Delete),
+    }));
+    Bytes sum = 0;
+    for (int f = 0; f < static_cast<int>(ByteFate::Count_); ++f)
+        sum += result.fateBytes(static_cast<ByteFate>(f));
+    EXPECT_EQ(sum, result.totalWritten);
+}
+
+TEST(Lifetime, NetTrafficDelaySweep)
+{
+    // 1000 bytes die after 10 s; 1000 bytes survive.
+    const auto result = analyzeLifetimes(stream({
+        op(0, OpType::Open),
+        op(secondsUs(1), OpType::Write, 0, 1, 0, 1000),
+        op(secondsUs(1), OpType::Write, 0, 1, 1000, 1000),
+        op(secondsUs(11), OpType::Write, 0, 1, 0, 1000),
+        op(secondsUs(12), OpType::Close),
+        op(secondsUs(20), OpType::Truncate, 0, 1, 0, 0),
+    }));
+    // Everything dies eventually => 0% at large delay.
+    EXPECT_DOUBLE_EQ(result.netWriteTrafficPct(kUsPerHour), 0.0);
+    // At zero delay nothing is absorbed.
+    EXPECT_DOUBLE_EQ(result.netWriteTrafficPct(0), 100.0);
+    // Monotone non-increasing in delay.
+    double last = 100.0;
+    for (const TimeUs d : {secondsUs(1.0), secondsUs(5.0),
+                           secondsUs(10.0), secondsUs(30.0)}) {
+        const double traffic = result.netWriteTrafficPct(d);
+        EXPECT_LE(traffic, last);
+        last = traffic;
+    }
+}
+
+TEST(Lifetime, CalledBackAlwaysCountsAsTraffic)
+{
+    const auto result = analyzeLifetimes(stream({
+        op(0, OpType::Open, 0),
+        op(1, OpType::Write, 0, 1, 0, 4096),
+        op(2, OpType::Close, 0),
+        op(secondsUs(60), OpType::Open, 1, 1, 0, 0, 2),
+        op(secondsUs(61), OpType::Close, 1, 1, 0, 0, 2),
+    }));
+    EXPECT_DOUBLE_EQ(result.netWriteTrafficPct(kUsPerHour), 100.0);
+}
+
+// ------------------------------------------------------------- oracle
+
+TEST(NextModifyIndex, WritesIndexed)
+{
+    const NextModifyIndex oracle(stream({
+        op(0, OpType::Open),
+        op(100, OpType::Write, 0, 1, 0, kBlockSize),
+        op(500, OpType::Write, 0, 1, 0, kBlockSize),
+        op(600, OpType::Close),
+    }));
+    EXPECT_EQ(oracle.nextModify({1, 0}, 0), 100);
+    EXPECT_EQ(oracle.nextModify({1, 0}, 100), 500);
+    EXPECT_EQ(oracle.nextModify({1, 0}, 500), kTimeInfinity);
+    EXPECT_EQ(oracle.nextModify({9, 0}, 0), kTimeInfinity);
+}
+
+TEST(NextModifyIndex, DeleteCountsAsModification)
+{
+    const NextModifyIndex oracle(stream({
+        op(0, OpType::Open),
+        op(100, OpType::Write, 0, 1, 0, 2 * kBlockSize),
+        op(200, OpType::Close),
+        op(900, OpType::Delete),
+    }));
+    // Both blocks of the file "change" at the deletion.
+    EXPECT_EQ(oracle.nextModify({1, 0}, 100), 900);
+    EXPECT_EQ(oracle.nextModify({1, 1}, 100), 900);
+    EXPECT_EQ(oracle.nextModify({1, 0}, 900), kTimeInfinity);
+}
+
+TEST(NextModifyIndex, TruncateCountsForDroppedBlocksOnly)
+{
+    prep::Op trunc = op(500, OpType::Truncate, 0, 1, 0, kBlockSize);
+    trunc.length = kBlockSize; // keep exactly one block
+    const NextModifyIndex oracle(stream({
+        op(0, OpType::Open),
+        op(100, OpType::Write, 0, 1, 0, 3 * kBlockSize),
+        op(200, OpType::Close),
+        trunc,
+    }));
+    EXPECT_EQ(oracle.nextModify({1, 0}, 100), kTimeInfinity);
+    EXPECT_EQ(oracle.nextModify({1, 1}, 100), 500);
+    EXPECT_EQ(oracle.nextModify({1, 2}, 100), 500);
+}
+
+TEST(NextModifyIndex, BlockCountReflectsCoverage)
+{
+    const NextModifyIndex oracle(stream({
+        op(0, OpType::Open),
+        op(100, OpType::Write, 0, 1, 0, 2 * kBlockSize),
+        op(101, OpType::Write, 0, 2, 0, kBlockSize),
+        op(200, OpType::Close),
+    }));
+    EXPECT_EQ(oracle.blockCount(), 3u);
+}
+
+} // namespace
+} // namespace nvfs::core

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the NVRAM device model (battery semantics, the
+ * Section 4 recovery story) and the Table 1 cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvram/cost.hpp"
+#include "nvram/device.hpp"
+
+namespace nvfs::nvram {
+namespace {
+
+TEST(Device, PutGetErase)
+{
+    NvramDevice device({.capacity = 16 * kKiB});
+    EXPECT_TRUE(device.put(1, 4096));
+    EXPECT_EQ(device.usedBytes(), 4096u);
+    const auto got = device.get(1);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 4096u);
+    EXPECT_EQ(device.erase(1), 4096u);
+    EXPECT_EQ(device.usedBytes(), 0u);
+    EXPECT_FALSE(device.get(1).has_value());
+}
+
+TEST(Device, CapacityEnforced)
+{
+    NvramDevice device({.capacity = 8 * kKiB});
+    EXPECT_TRUE(device.put(1, 8 * kKiB));
+    EXPECT_FALSE(device.put(2, 1));
+    EXPECT_EQ(device.freeBytes(), 0u);
+    // Replacing an existing tag with a smaller value shrinks usage.
+    EXPECT_TRUE(device.put(1, 1024));
+    EXPECT_EQ(device.freeBytes(), 8 * kKiB - 1024);
+}
+
+TEST(Device, AccessCountersTrackTraffic)
+{
+    NvramDevice device;
+    device.put(1, 100);
+    device.put(2, 100);
+    device.get(1);
+    EXPECT_EQ(device.writeAccesses(), 2u);
+    EXPECT_EQ(device.readAccesses(), 1u);
+}
+
+TEST(Device, SurvivesCrashWithGoodBattery)
+{
+    // Section 4: move the NVRAM to another client and recover.
+    NvramDevice device({.capacity = kMiB, .batteries = 2});
+    device.put(7, 2048);
+    device.detach(); // host crashed
+    device.attach(); // plugged into another machine
+    EXPECT_TRUE(device.contentsValid());
+    EXPECT_EQ(*device.get(7), 2048u);
+}
+
+TEST(Device, LosesContentsWithoutBatteries)
+{
+    NvramDevice device({.capacity = kMiB, .batteries = 1});
+    device.put(7, 2048);
+    device.failBattery();
+    device.detach();
+    EXPECT_FALSE(device.contentsValid());
+    EXPECT_FALSE(device.get(7).has_value());
+    EXPECT_EQ(device.usedBytes(), 0u);
+}
+
+TEST(Device, RedundantBatteryCoversOneFailure)
+{
+    NvramDevice device({.capacity = kMiB, .batteries = 2});
+    device.put(7, 2048);
+    device.failBattery(); // one cell dies, the spare holds
+    device.detach();
+    device.attach();
+    EXPECT_TRUE(device.contentsValid());
+    EXPECT_EQ(device.goodBatteries(), 1);
+}
+
+TEST(Device, BatteryFailureWhileDetachedKillsContents)
+{
+    NvramDevice device({.capacity = kMiB, .batteries = 1});
+    device.put(7, 2048);
+    device.detach();
+    EXPECT_TRUE(device.contentsValid());
+    device.failBattery();
+    EXPECT_FALSE(device.contentsValid());
+}
+
+TEST(Device, PoweredHostMasksBatteryLoss)
+{
+    NvramDevice device({.capacity = kMiB, .batteries = 1});
+    device.put(7, 2048);
+    device.failBattery(); // still attached: contents held by PSU
+    EXPECT_TRUE(device.contentsValid());
+}
+
+// ------------------------------------------------------------- costs
+
+TEST(Cost, TableHasPublishedShape)
+{
+    const auto &table = costTable1992();
+    EXPECT_EQ(table.size(), 8u);
+    EXPECT_DOUBLE_EQ(dramPricePerMB(), 33.0);
+    // NVRAM is 4-6x DRAM at best (the 16 MB boards).
+    const double ratio = cheapestNvramPricePerMB(16.0) /
+                         dramPricePerMB();
+    EXPECT_GT(ratio, 3.5);
+    EXPECT_LT(ratio, 6.0);
+}
+
+TEST(Cost, SmallConfigsCostMore)
+{
+    EXPECT_GT(cheapestNvramPricePerMB(0.5),
+              cheapestNvramPricePerMB(16.0));
+}
+
+TEST(Cost, EquivalentVolatileInterpolates)
+{
+    // Volatile curve: traffic falls linearly 50 -> 42 over 0..8 MB.
+    const std::vector<CurvePoint> volatile_curve = {
+        {0, 50}, {4, 46}, {8, 42}};
+    // NVRAM curve: 1 MB of NVRAM reaches 46%.
+    const std::vector<CurvePoint> nvram_curve = {
+        {0, 50}, {1, 46}, {8, 40}};
+    EXPECT_NEAR(equivalentVolatileMB(volatile_curve, nvram_curve, 1.0),
+                4.0, 1e-9);
+    EXPECT_NEAR(breakEvenPriceRatio(volatile_curve, nvram_curve, 1.0),
+                4.0, 1e-9);
+}
+
+TEST(Cost, NvramBeyondCurveClampsToEnd)
+{
+    const std::vector<CurvePoint> volatile_curve = {{0, 50}, {8, 45}};
+    const std::vector<CurvePoint> nvram_curve = {{0, 50}, {2, 30}};
+    // NVRAM reaches traffic the volatile curve never attains.
+    EXPECT_DOUBLE_EQ(
+        equivalentVolatileMB(volatile_curve, nvram_curve, 2.0), 8.0);
+}
+
+} // namespace
+} // namespace nvfs::nvram

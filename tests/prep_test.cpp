@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for pass 1: converting raw trace events into byte-range
+ * operations, including the Sprite-compat offset deduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prep/converter.hpp"
+#include "prep/ops.hpp"
+
+namespace nvfs::prep {
+namespace {
+
+using trace::Event;
+using trace::EventType;
+
+Event
+ev(TimeUs t, EventType type, Bytes off = 0, Bytes len = 0,
+   std::uint32_t flags = 0)
+{
+    Event e;
+    e.time = t;
+    e.type = type;
+    e.client = 1;
+    e.pid = 2;
+    e.file = 3;
+    e.offset = off;
+    e.length = len;
+    e.flags = flags;
+    return e;
+}
+
+std::vector<Op>
+opsOfType(const OpStream &stream, OpType type)
+{
+    std::vector<Op> out;
+    for (const Op &op : stream.ops) {
+        if (op.type == type)
+            out.push_back(op);
+    }
+    return out;
+}
+
+TEST(Converter, ExplicitEventsPassThrough)
+{
+    trace::TraceBuffer buffer;
+    buffer.push(ev(1, EventType::Open, 0, 0, trace::kOpenWrite));
+    buffer.push(ev(2, EventType::Write, 0, 4096));
+    buffer.push(ev(3, EventType::Write, 4096, 100));
+    buffer.push(ev(4, EventType::Close, 4196));
+
+    ConvertStats stats;
+    const OpStream stream = convertTrace(buffer, &stats);
+    const auto writes = opsOfType(stream, OpType::Write);
+    ASSERT_EQ(writes.size(), 2u);
+    EXPECT_EQ(writes[0].offset, 0u);
+    EXPECT_EQ(writes[0].length, 4096u);
+    EXPECT_EQ(writes[1].offset, 4096u);
+    EXPECT_EQ(writes[1].length, 100u);
+    EXPECT_EQ(stats.eventsIn, 4u);
+    EXPECT_EQ(stats.deducedWriteBytes, 0u); // nothing deduced
+    EXPECT_EQ(totals(stream).writeBytes, 4196u);
+}
+
+TEST(Converter, SpriteCompatDeducesSequentialWrite)
+{
+    // Open at 0, close at 8192 with the dirty hint: one 8 KB write
+    // reconstructed from offset movement alone.
+    trace::TraceBuffer buffer;
+    buffer.push(ev(1, EventType::Open, 0, 0, trace::kOpenWrite));
+    buffer.push(ev(5, EventType::Close, 8192, 0, kDirtyHint));
+
+    ConvertStats stats;
+    const OpStream stream = convertTrace(buffer, &stats);
+    const auto writes = opsOfType(stream, OpType::Write);
+    ASSERT_EQ(writes.size(), 1u);
+    EXPECT_EQ(writes[0].offset, 0u);
+    EXPECT_EQ(writes[0].length, 8192u);
+    EXPECT_EQ(writes[0].time, 5);
+    EXPECT_EQ(stats.deducedWriteBytes, 8192u);
+}
+
+TEST(Converter, SpriteCompatDeducesReadByOpenMode)
+{
+    trace::TraceBuffer buffer;
+    buffer.push(ev(1, EventType::Open, 0, 0, trace::kOpenRead));
+    buffer.push(ev(5, EventType::Close, 4096));
+
+    ConvertStats stats;
+    const OpStream stream = convertTrace(buffer, &stats);
+    const auto reads = opsOfType(stream, OpType::Read);
+    ASSERT_EQ(reads.size(), 1u);
+    EXPECT_EQ(reads[0].length, 4096u);
+    EXPECT_EQ(stats.deducedReadBytes, 4096u);
+}
+
+TEST(Converter, SpriteCompatSeekSplitsRuns)
+{
+    // Seek carries position-before-seek in `offset` and the new
+    // position in `length`: read [0, 100), jump to 500, read to 600.
+    trace::TraceBuffer buffer;
+    buffer.push(ev(1, EventType::Open, 0, 0, trace::kOpenRead));
+    buffer.push(ev(2, EventType::Seek, 100, 500));
+    buffer.push(ev(3, EventType::Close, 600));
+
+    const OpStream stream = convertTrace(buffer);
+    const auto reads = opsOfType(stream, OpType::Read);
+    ASSERT_EQ(reads.size(), 2u);
+    EXPECT_EQ(reads[0].offset, 0u);
+    EXPECT_EQ(reads[0].length, 100u);
+    EXPECT_EQ(reads[1].offset, 500u);
+    EXPECT_EQ(reads[1].length, 100u);
+}
+
+TEST(Converter, ReadWriteOpenUsesDirtyHint)
+{
+    trace::TraceBuffer buffer;
+    buffer.push(ev(1, EventType::Open, 0, 0,
+                   trace::kOpenRead | trace::kOpenWrite));
+    buffer.push(ev(2, EventType::Seek, 100, 100, kDirtyHint)); // write
+    buffer.push(ev(3, EventType::Close, 300));                 // read
+
+    const OpStream stream = convertTrace(buffer);
+    const auto writes = opsOfType(stream, OpType::Write);
+    const auto reads = opsOfType(stream, OpType::Read);
+    ASSERT_EQ(writes.size(), 1u);
+    ASSERT_EQ(reads.size(), 1u);
+    EXPECT_EQ(writes[0].length, 100u);
+    EXPECT_EQ(reads[0].offset, 100u);
+    EXPECT_EQ(reads[0].length, 200u);
+}
+
+TEST(Converter, TruncateOnOpenEmitsTruncate)
+{
+    trace::TraceBuffer buffer;
+    buffer.push(ev(1, EventType::Open, 0, 0,
+                   trace::kOpenWrite | trace::kOpenTruncate));
+    buffer.push(ev(2, EventType::Close, 0));
+
+    const OpStream stream = convertTrace(buffer);
+    const auto truncs = opsOfType(stream, OpType::Truncate);
+    ASSERT_EQ(truncs.size(), 1u);
+    EXPECT_EQ(truncs[0].length, 0u);
+    // The truncate precedes the open op.
+    EXPECT_EQ(stream.ops[0].type, OpType::Truncate);
+    EXPECT_EQ(stream.ops[1].type, OpType::Open);
+}
+
+TEST(Converter, OpenCloseCarryModes)
+{
+    trace::TraceBuffer buffer;
+    buffer.push(ev(1, EventType::Open, 0, 0, trace::kOpenWrite));
+    buffer.push(ev(2, EventType::Close, 0));
+    const OpStream stream = convertTrace(buffer);
+    const auto opens = opsOfType(stream, OpType::Open);
+    ASSERT_EQ(opens.size(), 1u);
+    EXPECT_TRUE(opens[0].openForWrite);
+    EXPECT_FALSE(opens[0].openForRead);
+    EXPECT_EQ(opsOfType(stream, OpType::Close).size(), 1u);
+}
+
+TEST(Converter, DeleteTruncateFsyncMigrateMapDirectly)
+{
+    trace::TraceBuffer buffer;
+    buffer.push(ev(1, EventType::Open, 0, 0, trace::kOpenWrite));
+    buffer.push(ev(2, EventType::Fsync));
+    buffer.push(ev(3, EventType::Close, 0));
+    buffer.push(ev(4, EventType::Truncate, 0, 1024));
+    buffer.push(ev(5, EventType::Delete));
+    Event mig = ev(6, EventType::Migrate);
+    mig.targetClient = 9;
+    buffer.push(mig);
+    buffer.push(ev(7, EventType::EndOfTrace));
+
+    const OpStream stream = convertTrace(buffer);
+    EXPECT_EQ(opsOfType(stream, OpType::Fsync).size(), 1u);
+    const auto truncs = opsOfType(stream, OpType::Truncate);
+    ASSERT_EQ(truncs.size(), 1u);
+    EXPECT_EQ(truncs[0].length, 1024u);
+    EXPECT_EQ(opsOfType(stream, OpType::Delete).size(), 1u);
+    const auto migs = opsOfType(stream, OpType::Migrate);
+    ASSERT_EQ(migs.size(), 1u);
+    EXPECT_EQ(migs[0].targetClient, 9);
+    EXPECT_EQ(opsOfType(stream, OpType::End).size(), 1u);
+}
+
+TEST(Converter, OrphanEventsCountedNotFatal)
+{
+    trace::TraceBuffer buffer;
+    buffer.push(ev(1, EventType::Seek, 100, 200)); // no open
+    buffer.push(ev(2, EventType::Close, 300));     // no open
+    ConvertStats stats;
+    const OpStream stream = convertTrace(buffer, &stats);
+    EXPECT_EQ(stats.orphanEvents, 2u);
+    EXPECT_TRUE(opsOfType(stream, OpType::Read).empty());
+    EXPECT_TRUE(opsOfType(stream, OpType::Write).empty());
+}
+
+TEST(Converter, BackwardSeekTransfersNothing)
+{
+    trace::TraceBuffer buffer;
+    buffer.push(ev(1, EventType::Open, 1000, 0, trace::kOpenRead));
+    buffer.push(ev(2, EventType::Seek, 1000, 0)); // rewind, no I/O
+    buffer.push(ev(3, EventType::Close, 0));      // still at 0
+    const OpStream stream = convertTrace(buffer);
+    EXPECT_TRUE(opsOfType(stream, OpType::Read).empty());
+}
+
+TEST(Converter, HeaderCarriesThrough)
+{
+    trace::TraceBuffer buffer;
+    buffer.header.traceIndex = 4;
+    buffer.header.clientCount = 12;
+    buffer.header.duration = 999;
+    const OpStream stream = convertTrace(buffer);
+    EXPECT_EQ(stream.traceIndex, 4);
+    EXPECT_EQ(stream.clientCount, 12u);
+    EXPECT_EQ(stream.duration, 999);
+}
+
+TEST(OpTotals, CountsByteAndOpCounts)
+{
+    OpStream stream;
+    Op write;
+    write.type = OpType::Write;
+    write.length = 100;
+    stream.ops.push_back(write);
+    stream.ops.push_back(write);
+    Op read;
+    read.type = OpType::Read;
+    read.length = 50;
+    stream.ops.push_back(read);
+    const OpStreamTotals t = totals(stream);
+    EXPECT_EQ(t.writeBytes, 200u);
+    EXPECT_EQ(t.writes, 2u);
+    EXPECT_EQ(t.readBytes, 50u);
+    EXPECT_EQ(t.reads, 1u);
+}
+
+TEST(OpNames, AllDistinct)
+{
+    std::set<std::string> names;
+    for (int t = 0; t <= static_cast<int>(OpType::End); ++t)
+        names.insert(opTypeName(static_cast<OpType>(t)));
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(OpType::End) + 1);
+}
+
+} // namespace
+} // namespace nvfs::prep

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the file server: the 30-second sweep, fsync-forced
+ * partial segments, and the NVRAM write buffer's coalescing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "server/file_server.hpp"
+
+namespace nvfs::server {
+namespace {
+
+using workload::ServerOp;
+
+ServerOp
+write(TimeUs t, FsId fs, FileId file, Bytes off, Bytes len)
+{
+    return {t, fs, file, off, len, ServerOp::Kind::Write};
+}
+
+ServerOp
+fsync(TimeUs t, FsId fs, FileId file)
+{
+    return {t, fs, file, 0, 0, ServerOp::Kind::Fsync};
+}
+
+ServerConfig
+config(Bytes buffer = 0)
+{
+    ServerConfig c;
+    c.nvramBufferBytes = buffer;
+    return c;
+}
+
+TEST(FileServer, FsyncForcesPartialSegment)
+{
+    FileServer server({"/fs"}, config());
+    server.run({
+        write(secondsUs(1), 0, 1, 0, 8000),
+        fsync(secondsUs(2), 0, 1),
+    });
+    const FsStats &stats = server.stats(0);
+    EXPECT_EQ(stats.log.partialsByFsync, 1u);
+    EXPECT_EQ(stats.fsyncs, 1u);
+    EXPECT_EQ(stats.fsyncsAbsorbed, 0u);
+    EXPECT_EQ(stats.arrivedBytes, 8000u);
+}
+
+TEST(FileServer, TimeoutFlushAfterThirtySeconds)
+{
+    FileServer server({"/fs"}, config());
+    server.run({
+        write(secondsUs(1), 0, 1, 0, 8000),
+        // A later op advances the sweeping clock past 31 s.
+        write(secondsUs(60), 0, 2, 0, 100),
+    });
+    const FsStats &stats = server.stats(0);
+    EXPECT_GE(stats.log.partialsByTimeout, 1u);
+}
+
+TEST(FileServer, BufferAbsorbsFsync)
+{
+    FileServer server({"/fs"}, config(512 * kKiB));
+    server.run({
+        write(secondsUs(1), 0, 1, 0, 8000),
+        fsync(secondsUs(2), 0, 1),
+    });
+    const FsStats &stats = server.stats(0);
+    EXPECT_EQ(stats.fsyncsAbsorbed, 1u);
+    EXPECT_EQ(stats.log.partialsByFsync, 0u);
+    // The data still reaches disk eventually (shutdown drain).
+    EXPECT_EQ(stats.log.dataBytes, 8000u);
+}
+
+TEST(FileServer, BufferedFsyncsCoalesceWithTimeoutFlush)
+{
+    // Several fsyncs inside one 30-second window plus background
+    // data: baseline writes one segment per fsync; buffered rides
+    // them all out with the single timeout flush.
+    std::vector<ServerOp> ops;
+    ops.push_back(write(secondsUs(1), 0, 99, 0, 4000)); // background
+    for (int i = 0; i < 5; ++i) {
+        ops.push_back(
+            write(secondsUs(3 + i), 0, 1, i * 2048, 2048));
+        ops.push_back(fsync(secondsUs(3 + i) + 1000, 0, 1));
+    }
+    ops.push_back(write(secondsUs(90), 0, 100, 0, 100));
+
+    FileServer baseline({"/fs"}, config());
+    baseline.run(ops);
+    FileServer buffered({"/fs"}, config(512 * kKiB));
+    buffered.run(ops);
+
+    EXPECT_EQ(baseline.stats(0).log.partialsByFsync, 5u);
+    EXPECT_EQ(buffered.stats(0).log.partialsByFsync, 0u);
+    EXPECT_LT(buffered.totalDiskWrites(),
+              baseline.totalDiskWrites());
+    // Same data volume reaches the disk either way.
+    EXPECT_EQ(buffered.totalDataBytes(), baseline.totalDataBytes());
+}
+
+TEST(FileServer, SmallBufferOverflowsToDisk)
+{
+    // A 4 KB buffer cannot absorb a 100 KB fsync.
+    FileServer server({"/fs"}, config(4 * kKiB));
+    server.run({
+        write(secondsUs(1), 0, 1, 0, 100 * kKiB),
+        fsync(secondsUs(2), 0, 1),
+    });
+    const FsStats &stats = server.stats(0);
+    EXPECT_EQ(stats.bufferOverflows, 1u);
+    EXPECT_EQ(stats.fsyncsAbsorbed, 0u);
+}
+
+TEST(FileServer, LargeDumpMakesFullSegments)
+{
+    FileServer server({"/fs"}, config());
+    // 1.5 segments of data arriving at once, flushed by the sweep.
+    std::vector<ServerOp> ops;
+    for (Bytes off = 0; off < 768 * kKiB; off += 64 * kKiB)
+        ops.push_back(write(secondsUs(1), 0, 1, off, 64 * kKiB));
+    ops.push_back(write(secondsUs(90), 0, 2, 0, 100));
+    server.run(ops);
+    const FsStats &stats = server.stats(0);
+    EXPECT_GE(stats.log.fullSegments, 1u);
+    EXPECT_GE(stats.log.partialSegments, 1u); // the remainder
+}
+
+TEST(FileServer, FsyncOfCleanFileIsFree)
+{
+    FileServer server({"/fs"}, config());
+    server.run({fsync(secondsUs(1), 0, 1)});
+    EXPECT_EQ(server.stats(0).log.segmentsWritten, 0u);
+}
+
+TEST(FileServer, PerFsIsolation)
+{
+    FileServer server({"/a", "/b"}, config());
+    server.run({
+        write(secondsUs(1), 0, 1, 0, 4000),
+        fsync(secondsUs(2), 0, 1),
+        write(secondsUs(3), 1, 2, 0, 6000),
+    });
+    EXPECT_EQ(server.stats(0).log.partialsByFsync, 1u);
+    EXPECT_EQ(server.stats(1).log.partialsByFsync, 0u);
+    EXPECT_EQ(server.stats(0).arrivedBytes, 4000u);
+    EXPECT_EQ(server.stats(1).arrivedBytes, 6000u);
+    EXPECT_EQ(server.totalDataBytes(), 10000u);
+}
+
+TEST(FileServer, DrainWritesEverythingAtShutdown)
+{
+    FileServer server({"/fs"}, config());
+    server.run({write(secondsUs(1), 0, 1, 0, 12345)});
+    EXPECT_EQ(server.stats(0).log.dataBytes, 12345u);
+}
+
+} // namespace
+} // namespace nvfs::server

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for the trace library: codecs, file round-trips,
+ * validation, and merging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "trace/codec.hpp"
+#include "trace/merge.hpp"
+#include "trace/stream.hpp"
+#include "trace/validate.hpp"
+
+namespace nvfs::trace {
+namespace {
+
+Event
+makeEvent(TimeUs t, EventType type, ClientId client = 1, ProcId pid = 2,
+          FileId file = 3, Bytes off = 0, Bytes len = 0,
+          std::uint32_t flags = 0)
+{
+    Event e;
+    e.time = t;
+    e.type = type;
+    e.client = client;
+    e.pid = pid;
+    e.file = file;
+    e.offset = off;
+    e.length = len;
+    e.flags = flags;
+    return e;
+}
+
+TEST(EventNames, AllDistinct)
+{
+    std::set<std::string> names;
+    for (int t = 0; t <= static_cast<int>(EventType::EndOfTrace); ++t)
+        names.insert(eventTypeName(static_cast<EventType>(t)));
+    EXPECT_EQ(names.size(),
+              static_cast<std::size_t>(EventType::EndOfTrace) + 1);
+}
+
+TEST(BinaryCodec, RoundTripsSingleEvent)
+{
+    const Event in = makeEvent(123456789, EventType::Write, 5, 77, 9,
+                               8192, 4096, kOpenWrite);
+    std::stringstream buffer;
+    encodeEvent(in, buffer);
+    const auto out = decodeEvent(buffer);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, in);
+}
+
+TEST(BinaryCodec, EofReturnsNullopt)
+{
+    std::stringstream buffer;
+    EXPECT_FALSE(decodeEvent(buffer).has_value());
+}
+
+TEST(BinaryCodec, HeaderRoundTrips)
+{
+    TraceHeader in;
+    in.traceIndex = 6;
+    in.clientCount = 40;
+    in.duration = 24 * kUsPerHour;
+    in.eventCount = 999;
+    std::stringstream buffer;
+    encodeHeader(in, buffer);
+    EXPECT_EQ(decodeHeader(buffer), in);
+}
+
+TEST(TextCodec, RoundTripsThroughToString)
+{
+    const Event in = makeEvent(42, EventType::Open, 2, 3, 4, 100, 0,
+                               kOpenRead | kOpenWrite);
+    const auto out = parseTextEvent(toString(in));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, in);
+}
+
+TEST(TextCodec, SkipsBlankAndComment)
+{
+    EXPECT_FALSE(parseTextEvent("").has_value());
+    EXPECT_FALSE(parseTextEvent("   ").has_value());
+    EXPECT_FALSE(parseTextEvent("# comment").has_value());
+}
+
+TEST(TraceFiles, BinaryRoundTrip)
+{
+    TraceBuffer in;
+    in.header.traceIndex = 3;
+    in.header.clientCount = 2;
+    in.header.duration = 1000;
+    in.push(makeEvent(1, EventType::Open, 0, 1, 0, 0, 0, kOpenWrite));
+    in.push(makeEvent(2, EventType::Write, 0, 1, 0, 0, 4096));
+    in.push(makeEvent(3, EventType::Close, 0, 1, 0, 4096));
+
+    const auto path = std::filesystem::temp_directory_path() /
+                      "nvfs_trace_test.bin";
+    writeTraceFile(path.string(), in);
+    const TraceBuffer out = readTraceFile(path.string());
+    std::filesystem::remove(path);
+
+    EXPECT_EQ(out.header.traceIndex, in.header.traceIndex);
+    EXPECT_EQ(out.header.clientCount, in.header.clientCount);
+    ASSERT_EQ(out.events.size(), in.events.size());
+    for (std::size_t i = 0; i < in.events.size(); ++i)
+        EXPECT_EQ(out.events[i], in.events[i]);
+}
+
+TEST(TraceFiles, TextRoundTrip)
+{
+    TraceBuffer in;
+    in.push(makeEvent(1, EventType::Open, 0, 1, 0, 0, 0, kOpenRead));
+    in.push(makeEvent(5, EventType::Close, 0, 1, 0, 100));
+
+    const auto path = std::filesystem::temp_directory_path() /
+                      "nvfs_trace_test.txt";
+    writeTraceText(path.string(), in);
+    const TraceBuffer out = readTraceText(path.string());
+    std::filesystem::remove(path);
+
+    ASSERT_EQ(out.events.size(), 2u);
+    EXPECT_EQ(out.events[0], in.events[0]);
+    EXPECT_EQ(out.events[1], in.events[1]);
+}
+
+// ---------------------------------------------------------- validate
+
+TEST(Validate, AcceptsWellFormedTrace)
+{
+    TraceBuffer buffer;
+    buffer.push(makeEvent(1, EventType::Open, 0, 1, 0, 0, 0,
+                          kOpenWrite));
+    buffer.push(makeEvent(2, EventType::Write, 0, 1, 0, 0, 100));
+    buffer.push(makeEvent(3, EventType::Fsync, 0, 1, 0));
+    buffer.push(makeEvent(4, EventType::Close, 0, 1, 0, 100));
+    buffer.push(makeEvent(5, EventType::Delete, 0, 1, 0));
+    buffer.push(makeEvent(6, EventType::EndOfTrace));
+    const auto report = validateTrace(buffer);
+    EXPECT_TRUE(report.ok()) << report.issues.front().message;
+    EXPECT_EQ(report.eventsChecked, 6u);
+}
+
+TEST(Validate, FlagsTimeRegression)
+{
+    TraceBuffer buffer;
+    buffer.push(makeEvent(10, EventType::Delete));
+    buffer.push(makeEvent(5, EventType::Delete));
+    EXPECT_FALSE(validateTrace(buffer).ok());
+}
+
+TEST(Validate, FlagsCloseWithoutOpen)
+{
+    TraceBuffer buffer;
+    buffer.push(makeEvent(1, EventType::Close));
+    EXPECT_FALSE(validateTrace(buffer).ok());
+}
+
+TEST(Validate, FlagsIoOnUnopenedFile)
+{
+    TraceBuffer buffer;
+    buffer.push(makeEvent(1, EventType::Read, 1, 2, 3, 0, 10));
+    EXPECT_FALSE(validateTrace(buffer).ok());
+}
+
+TEST(Validate, FlagsOpenWithoutMode)
+{
+    TraceBuffer buffer;
+    buffer.push(makeEvent(1, EventType::Open));
+    buffer.push(makeEvent(2, EventType::Close));
+    EXPECT_FALSE(validateTrace(buffer).ok());
+}
+
+TEST(Validate, FlagsUnclosedFileAtEnd)
+{
+    TraceBuffer buffer;
+    buffer.push(makeEvent(1, EventType::Open, 0, 1, 0, 0, 0,
+                          kOpenRead));
+    const auto report = validateTrace(buffer);
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(Validate, FlagsSelfMigration)
+{
+    TraceBuffer buffer;
+    Event e = makeEvent(1, EventType::Migrate, 4);
+    e.targetClient = 4;
+    buffer.push(e);
+    EXPECT_FALSE(validateTrace(buffer).ok());
+}
+
+TEST(Validate, FlagsZeroLengthIo)
+{
+    TraceBuffer buffer;
+    buffer.push(makeEvent(1, EventType::Open, 0, 1, 0, 0, 0,
+                          kOpenWrite));
+    buffer.push(makeEvent(2, EventType::Write, 0, 1, 0, 0, 0));
+    buffer.push(makeEvent(3, EventType::Close, 0, 1, 0));
+    EXPECT_FALSE(validateTrace(buffer).ok());
+}
+
+TEST(Validate, FlagsEventAfterEnd)
+{
+    TraceBuffer buffer;
+    buffer.push(makeEvent(1, EventType::EndOfTrace));
+    buffer.push(makeEvent(2, EventType::Delete));
+    EXPECT_FALSE(validateTrace(buffer).ok());
+}
+
+// -------------------------------------------------------------- merge
+
+TEST(Merge, InterleavesByTime)
+{
+    TraceBuffer a, b;
+    a.push(makeEvent(1, EventType::Delete, 0));
+    a.push(makeEvent(5, EventType::Delete, 0));
+    b.push(makeEvent(3, EventType::Delete, 1));
+
+    const TraceBuffer merged = mergeTraces({a, b});
+    ASSERT_EQ(merged.events.size(), 3u);
+    EXPECT_EQ(merged.events[0].time, 1);
+    EXPECT_EQ(merged.events[1].time, 3);
+    EXPECT_EQ(merged.events[2].time, 5);
+}
+
+TEST(Merge, StableForEqualTimes)
+{
+    TraceBuffer a, b;
+    a.push(makeEvent(1, EventType::Delete, 0));
+    b.push(makeEvent(1, EventType::Delete, 1));
+    const TraceBuffer merged = mergeTraces({a, b});
+    ASSERT_EQ(merged.events.size(), 2u);
+    EXPECT_EQ(merged.events[0].client, 0); // earlier stream wins ties
+    EXPECT_EQ(merged.events[1].client, 1);
+}
+
+TEST(Merge, EmptyInputs)
+{
+    EXPECT_EQ(mergeTraces({}).events.size(), 0u);
+    TraceBuffer empty;
+    EXPECT_EQ(mergeTraces({empty, empty}).events.size(), 0u);
+}
+
+TEST(Merge, StableSortByTime)
+{
+    TraceBuffer buffer;
+    buffer.push(makeEvent(5, EventType::Delete, 0));
+    buffer.push(makeEvent(1, EventType::Delete, 1));
+    buffer.push(makeEvent(5, EventType::Delete, 2));
+    stableSortByTime(buffer);
+    EXPECT_EQ(buffer.events[0].client, 1);
+    EXPECT_EQ(buffer.events[1].client, 0); // original order preserved
+    EXPECT_EQ(buffer.events[2].client, 2);
+}
+
+} // namespace
+} // namespace nvfs::trace

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the synthetic workload generators: structural validity,
+ * determinism, budget adherence, dialect equivalence, and the
+ * server-side op stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prep/converter.hpp"
+#include "trace/validate.hpp"
+#include "workload/generator.hpp"
+#include "workload/server_workload.hpp"
+
+namespace nvfs::workload {
+namespace {
+
+constexpr double kTestScale = 0.02;
+
+TEST(Profiles, EightStandardProfiles)
+{
+    const auto profiles = standardProfiles(kTestScale);
+    ASSERT_EQ(profiles.size(), 8u);
+    for (int n = 1; n <= 8; ++n) {
+        EXPECT_EQ(profiles[n - 1].index, n - 1);
+        EXPECT_EQ(profiles[n - 1].name, "trace" + std::to_string(n));
+    }
+}
+
+TEST(Profiles, BigSimTracesAreThreeAndFour)
+{
+    EXPECT_FALSE(isBigSimTrace(1));
+    EXPECT_TRUE(isBigSimTrace(3));
+    EXPECT_TRUE(isBigSimTrace(4));
+    EXPECT_FALSE(isBigSimTrace(7));
+    EXPECT_GT(standardProfile(3, kTestScale).bigSim.bytesShare, 0.5);
+    EXPECT_DOUBLE_EQ(standardProfile(7, kTestScale).bigSim.bytesShare,
+                     0.0);
+}
+
+TEST(Profiles, ScaleShrinksVolume)
+{
+    const auto full = standardProfile(7, 1.0);
+    const auto small = standardProfile(7, 0.1);
+    EXPECT_NEAR(static_cast<double>(small.totalWriteBytes),
+                0.1 * static_cast<double>(full.totalWriteBytes),
+                static_cast<double>(kMiB));
+}
+
+TEST(Generator, Deterministic)
+{
+    const TraceProfile profile = standardProfile(7, kTestScale);
+    GeneratorOptions options;
+    options.seed = 99;
+    ClientTraceGenerator a(profile, options);
+    ClientTraceGenerator b(profile, options);
+    const auto ta = a.generate();
+    const auto tb = b.generate();
+    ASSERT_EQ(ta.events.size(), tb.events.size());
+    for (std::size_t i = 0; i < ta.events.size(); ++i)
+        EXPECT_EQ(ta.events[i], tb.events[i]);
+}
+
+TEST(Generator, DifferentSeedsDiffer)
+{
+    const TraceProfile profile = standardProfile(7, kTestScale);
+    GeneratorOptions a, b;
+    a.seed = 1;
+    b.seed = 2;
+    const auto ta = ClientTraceGenerator(profile, a).generate();
+    const auto tb = ClientTraceGenerator(profile, b).generate();
+    EXPECT_NE(ta.events.size(), tb.events.size());
+}
+
+class AllTracesValidate : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AllTracesValidate, PassesStructuralValidation)
+{
+    const auto buffer =
+        generateStandardTrace(GetParam(), kTestScale, false);
+    const auto report = trace::validateTrace(buffer);
+    EXPECT_TRUE(report.ok())
+        << "trace " << GetParam() << ": "
+        << (report.issues.empty() ? "" : report.issues[0].message);
+    EXPECT_GT(buffer.events.size(), 100u);
+}
+
+TEST_P(AllTracesValidate, SpriteCompatAlsoValidates)
+{
+    const auto buffer =
+        generateStandardTrace(GetParam(), kTestScale, true);
+    const auto report = trace::validateTrace(buffer);
+    EXPECT_TRUE(report.ok())
+        << "trace " << GetParam() << ": "
+        << (report.issues.empty() ? "" : report.issues[0].message);
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, AllTracesValidate,
+                         ::testing::Range(1, 9));
+
+TEST(Generator, WriteVolumeNearBudget)
+{
+    const TraceProfile profile = standardProfile(7, 0.05);
+    GeneratorOptions options;
+    ClientTraceGenerator gen(profile, options);
+    gen.generate();
+    const double written =
+        static_cast<double>(gen.totals().writeBytes);
+    const double budget =
+        static_cast<double>(profile.totalWriteBytes);
+    EXPECT_GT(written, 0.8 * budget);
+    EXPECT_LT(written, 1.6 * budget);
+}
+
+TEST(Generator, ReadVolumeNearRatio)
+{
+    const TraceProfile profile = standardProfile(7, 0.05);
+    GeneratorOptions options;
+    ClientTraceGenerator gen(profile, options);
+    gen.generate();
+    const double ratio =
+        static_cast<double>(gen.totals().readBytes) /
+        static_cast<double>(gen.totals().writeBytes);
+    EXPECT_GT(ratio, 0.7 * profile.readWriteRatio);
+    EXPECT_LT(ratio, 1.4 * profile.readWriteRatio);
+}
+
+TEST(Generator, CompatDeductionMatchesExplicitVolume)
+{
+    // The same profile/seed generated in both dialects must carry the
+    // same write volume once the compat trace is run through pass 1.
+    const TraceProfile profile = standardProfile(5, kTestScale);
+    GeneratorOptions explicit_opts, compat_opts;
+    explicit_opts.seed = compat_opts.seed = 7;
+    compat_opts.spriteCompat = true;
+
+    const auto explicit_trace =
+        ClientTraceGenerator(profile, explicit_opts).generate();
+    const auto compat_trace =
+        ClientTraceGenerator(profile, compat_opts).generate();
+
+    const auto explicit_ops = prep::convertTrace(explicit_trace);
+    prep::ConvertStats stats;
+    const auto compat_ops = prep::convertTrace(compat_trace, &stats);
+
+    const auto te = prep::totals(explicit_ops);
+    const auto tc = prep::totals(compat_ops);
+    // Identical byte volumes; the compat side was all deduced.
+    EXPECT_EQ(te.writeBytes, tc.writeBytes);
+    EXPECT_EQ(te.readBytes, tc.readBytes);
+    EXPECT_GT(stats.deducedWriteBytes, 0u);
+    EXPECT_GT(stats.deducedReadBytes, 0u);
+}
+
+TEST(Generator, EmitsAllActivityKinds)
+{
+    const TraceProfile profile = standardProfile(7, 0.05);
+    GeneratorOptions options;
+    ClientTraceGenerator gen(profile, options);
+    const auto buffer = gen.generate();
+    EXPECT_GT(gen.totals().deletes, 0u);
+    EXPECT_GT(gen.totals().fsyncs, 0u);
+    EXPECT_GT(gen.totals().migrations, 0u);
+
+    bool saw_migrate = false;
+    for (const auto &event : buffer.events)
+        saw_migrate |= event.type == trace::EventType::Migrate;
+    EXPECT_TRUE(saw_migrate);
+}
+
+TEST(Generator, EventsTimeSortedWithinDuration)
+{
+    const auto buffer = generateStandardTrace(3, kTestScale);
+    TimeUs last = 0;
+    for (const auto &event : buffer.events) {
+        EXPECT_GE(event.time, last);
+        last = event.time;
+    }
+    EXPECT_LE(last, buffer.header.duration);
+}
+
+TEST(FilePopulation, SizesClampedAndAligned)
+{
+    util::Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const Bytes size = sampleFileSize(rng, 24.0 * 1024, 1.0);
+        EXPECT_GE(size, 512u);
+        EXPECT_LE(size, 64u * 1024 * 1024);
+        EXPECT_EQ(size % 512, 0u);
+    }
+}
+
+TEST(FilePopulation, CreateAndDelete)
+{
+    FilePopulation files;
+    util::Rng rng(2);
+    files.seedSystemFiles(10, 8192, rng);
+    EXPECT_EQ(files.systemCount(), 10u);
+    const FileId id = files.create(FileClass::Temp, 3, 4096);
+    EXPECT_EQ(id, 10u);
+    EXPECT_EQ(files.at(id).owner, 3);
+    files.markDeleted(id);
+    EXPECT_TRUE(files.at(id).deleted);
+}
+
+// ------------------------------------------------------ server side
+
+TEST(ServerWorkload, EightFileSystems)
+{
+    const auto profiles = standardFsProfiles(kTestScale);
+    ASSERT_EQ(profiles.size(), 8u);
+    EXPECT_EQ(profiles[0].name, "/user6");
+    EXPECT_GT(profiles[0].transactionsPerHour, 0.0);
+    EXPECT_EQ(profiles[0].fsyncsPerTransaction, 5);
+    EXPECT_EQ(profiles[2].name, "/swap1");
+    EXPECT_DOUBLE_EQ(profiles[2].dumpFsyncProb, 0.0); // never fsyncs
+}
+
+TEST(ServerWorkload, OpsSortedAndCoverAllFs)
+{
+    const auto profiles = standardFsProfiles(0.5);
+    const auto ops = generateServerOps(profiles, 6 * kUsPerHour, 3);
+    ASSERT_FALSE(ops.empty());
+    TimeUs last = 0;
+    std::set<FsId> seen;
+    for (const auto &op : ops) {
+        EXPECT_GE(op.time, last);
+        last = op.time;
+        seen.insert(op.fs);
+        EXPECT_LT(op.fs, profiles.size());
+    }
+    EXPECT_GE(seen.size(), 6u); // nearly all file systems active
+}
+
+TEST(ServerWorkload, Deterministic)
+{
+    const auto profiles = standardFsProfiles(0.2);
+    const auto a = generateServerOps(profiles, kUsPerHour, 5);
+    const auto b = generateServerOps(profiles, kUsPerHour, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].time, b[i].time);
+        EXPECT_EQ(a[i].length, b[i].length);
+    }
+}
+
+TEST(ServerWorkload, TpStreamPairsWritesWithFsyncs)
+{
+    auto profiles = standardFsProfiles(0.5);
+    // Keep only /user6's TP stream.
+    for (auto &p : profiles) {
+        if (p.name != "/user6") {
+            p.dumpsPerHour = 0;
+            p.transactionsPerHour = 0;
+            p.trickleIntervalS = 0;
+        } else {
+            p.dumpsPerHour = 0;
+        }
+    }
+    const auto ops = generateServerOps(profiles, 2 * kUsPerHour, 11);
+    std::uint64_t writes = 0, fsyncs = 0;
+    for (const auto &op : ops) {
+        if (op.kind == ServerOp::Kind::Write)
+            ++writes;
+        else
+            ++fsyncs;
+    }
+    EXPECT_EQ(writes, fsyncs); // one fsync per TP write
+    EXPECT_GT(fsyncs, 0u);
+}
+
+} // namespace
+} // namespace nvfs::workload

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * nvfs_sim — command-line driver for the whole pipeline.
+ *
+ *   nvfs_sim generate --trace 7 --scale 0.25 --out t7.trace [--text]
+ *                     [--compat]
+ *   nvfs_sim validate --in t7.trace [--text]
+ *   nvfs_sim lifetime --trace 7 [--scale S] | --in t7.trace
+ *   nvfs_sim client   --trace 7 [--scale S] --model unified
+ *                     [--volatile 8M] [--nvram 1M] [--policy lru]
+ *                     [--block-callbacks] [--crash 300s:0]
+ *   nvfs_sim server   [--hours 24] [--buffer 512K] [--scale S]
+ *
+ * Sizes accept K/M/G suffixes; durations accept s/min/h.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sim/experiments.hpp"
+#include "prep/characterize.hpp"
+#include "prep/converter.hpp"
+#include "trace/stream.hpp"
+#include "trace/validate.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workload/generator.hpp"
+
+using namespace nvfs;
+
+namespace {
+
+/** Parsed --key value arguments. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0)
+                util::fatal("expected --option, got '" + key + "'");
+            key = key.substr(2);
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                values_[key] = argv[++i];
+            } else {
+                values_[key] = "1"; // boolean flag
+            }
+        }
+    }
+
+    bool has(const std::string &key) const { return values_.count(key); }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    int
+    getInt(const std::string &key, int fallback) const
+    {
+        return has(key) ? std::atoi(get(key).c_str()) : fallback;
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        return has(key) ? std::atof(get(key).c_str()) : fallback;
+    }
+
+    Bytes
+    getBytes(const std::string &key, Bytes fallback) const
+    {
+        return has(key) ? util::parseBytes(get(key)) : fallback;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+trace::TraceBuffer
+loadOrGenerate(const Args &args)
+{
+    if (args.has("in")) {
+        return args.has("text")
+                   ? trace::readTraceText(args.get("in"))
+                   : trace::readTraceFile(args.get("in"));
+    }
+    const int trace_number = args.getInt("trace", 7);
+    const double scale = args.getDouble("scale", 0.25);
+    return workload::generateStandardTrace(trace_number, scale,
+                                           args.has("compat"));
+}
+
+int
+cmdGenerate(const Args &args)
+{
+    const auto buffer = loadOrGenerate(args);
+    const std::string out = args.get("out", "out.trace");
+    if (args.has("text"))
+        trace::writeTraceText(out, buffer);
+    else
+        trace::writeTraceFile(out, buffer);
+    std::printf("wrote %zu events to %s\n", buffer.events.size(),
+                out.c_str());
+    return 0;
+}
+
+int
+cmdValidate(const Args &args)
+{
+    const auto buffer = loadOrGenerate(args);
+    const auto report = trace::validateTrace(buffer);
+    std::printf("%zu events checked, %zu issues\n",
+                report.eventsChecked, report.issues.size());
+    for (std::size_t i = 0;
+         i < std::min<std::size_t>(10, report.issues.size()); ++i) {
+        std::printf("  event %zu: %s\n", report.issues[i].eventIndex,
+                    report.issues[i].message.c_str());
+    }
+    return report.ok() ? 0 : 1;
+}
+
+int
+cmdLifetime(const Args &args)
+{
+    const auto buffer = loadOrGenerate(args);
+    const auto ops = prep::convertTrace(buffer);
+    const auto life = core::analyzeLifetimes(ops);
+
+    util::TextTable fate({"fate", "MB", "%"});
+    for (int f = 0; f < static_cast<int>(core::ByteFate::Count_); ++f) {
+        const auto kind = static_cast<core::ByteFate>(f);
+        fate.addRow({core::byteFateName(kind),
+                     util::format("%.1f", toMiB(life.fateBytes(kind))),
+                     util::format("%.1f",
+                                  100.0 *
+                                      static_cast<double>(
+                                          life.fateBytes(kind)) /
+                                      static_cast<double>(
+                                          life.totalWritten))});
+    }
+    std::printf("%s\n",
+                fate.render("byte fate (infinite NVRAM)").c_str());
+
+    util::TextTable sweep({"write-back delay", "net write traffic %"});
+    for (const double minutes : {0.1, 0.5, 1.0, 10.0, 60.0, 1440.0}) {
+        sweep.addRow({util::formatDuration(static_cast<TimeUs>(
+                          minutes * kUsPerMinute)),
+                      util::format("%.1f",
+                                   life.netWriteTrafficPct(
+                                       static_cast<TimeUs>(
+                                           minutes * kUsPerMinute)))});
+    }
+    std::printf("%s\n", sweep.render().c_str());
+    return 0;
+}
+
+int
+cmdProfile(const Args &args)
+{
+    const auto buffer = loadOrGenerate(args);
+    const auto ops = prep::convertTrace(buffer);
+    std::printf("%s\n",
+                prep::characterize(ops)
+                    .render("workload characterization")
+                    .c_str());
+    return 0;
+}
+
+int
+cmdClient(const Args &args)
+{
+    const auto buffer = loadOrGenerate(args);
+    const auto ops = prep::convertTrace(buffer);
+
+    core::ClusterConfig config;
+    const std::string model = args.get("model", "unified");
+    if (model == "volatile") {
+        config.model.kind = core::ModelKind::Volatile;
+    } else if (model == "write-aside") {
+        config.model.kind = core::ModelKind::WriteAside;
+    } else if (model == "unified") {
+        config.model.kind = core::ModelKind::Unified;
+    } else {
+        util::fatal("unknown model '" + model + "'");
+    }
+    config.model.volatileBytes = args.getBytes("volatile", 8 * kMiB);
+    config.model.nvramBytes = args.getBytes("nvram", kMiB);
+    const std::string policy = args.get("policy", "lru");
+    if (policy == "lru") {
+        config.model.nvramPolicy = cache::PolicyKind::Lru;
+    } else if (policy == "random") {
+        config.model.nvramPolicy = cache::PolicyKind::Random;
+    } else if (policy == "clock") {
+        config.model.nvramPolicy = cache::PolicyKind::Clock;
+    } else {
+        util::fatal("unknown policy '" + policy +
+                    "' (lru|random|clock)");
+    }
+    config.blockLevelCallbacks = args.has("block-callbacks");
+    if (args.has("crash")) {
+        // --crash 300s:0 — time and client id.
+        const std::string spec = args.get("crash");
+        const auto colon = spec.find(':');
+        if (colon == std::string::npos)
+            util::fatal("--crash expects <duration>:<client>");
+        config.crashes.emplace_back(
+            util::parseDuration(spec.substr(0, colon)),
+            static_cast<ClientId>(
+                std::atoi(spec.c_str() + colon + 1)));
+    }
+
+    core::ClusterSim sim(config, std::max<std::uint32_t>(
+                                     1, ops.clientCount));
+    const core::Metrics m = sim.run(ops);
+
+    util::TextTable table({"metric", "value"});
+    table.addRow({"app writes", util::formatBytes(m.appWriteBytes)});
+    table.addRow({"app reads", util::formatBytes(m.appReadBytes)});
+    table.addRow({"server writes",
+                  util::formatBytes(m.totalServerWrites())});
+    table.addRow({"server reads",
+                  util::formatBytes(m.serverReadBytes)});
+    table.addRow({"net write traffic",
+                  util::format("%.1f %%", m.netWriteTrafficPct())});
+    table.addRow({"net total traffic",
+                  util::format("%.1f %%", m.netTotalTrafficPct())});
+    for (int c = 0; c < static_cast<int>(core::WriteCause::Count_);
+         ++c) {
+        const auto cause = static_cast<core::WriteCause>(c);
+        if (m.serverWrites(cause) == 0)
+            continue;
+        table.addRow({"  writes by " + core::writeCauseName(cause),
+                      util::formatBytes(m.serverWrites(cause))});
+    }
+    if (m.lostDirtyBytes > 0) {
+        table.addRow({"dirty bytes LOST to crashes",
+                      util::formatBytes(m.lostDirtyBytes)});
+    }
+    std::printf("%s\n", table.render("client simulation").c_str());
+    return 0;
+}
+
+int
+cmdServer(const Args &args)
+{
+    const double hours = args.getDouble("hours", 24.0);
+    const double scale = args.getDouble("scale", 1.0);
+    const Bytes buffer = args.getBytes("buffer", 0);
+    const auto result = core::runServerSim(
+        static_cast<TimeUs>(hours * kUsPerHour), scale, buffer);
+
+    util::TextTable table({"file system", "segments", "partial",
+                           "by fsync", "data MB", "fsyncs absorbed"});
+    for (const auto &fs : result.fs) {
+        table.addRow(
+            {fs.name,
+             util::format("%llu", static_cast<unsigned long long>(
+                                      fs.log.segmentsWritten)),
+             util::format("%llu", static_cast<unsigned long long>(
+                                      fs.log.partialSegments)),
+             util::format("%llu", static_cast<unsigned long long>(
+                                      fs.log.partialsByFsync)),
+             util::format("%.1f", toMiB(fs.log.dataBytes)),
+             util::format("%llu", static_cast<unsigned long long>(
+                                      fs.fsyncsAbsorbed))});
+    }
+    std::printf("%s\n", table.render(util::format(
+                            "server, %.3g h, buffer=%s", hours,
+                            util::formatBytes(buffer).c_str()))
+                            .c_str());
+    std::printf("total disk write accesses: %llu\n",
+                static_cast<unsigned long long>(
+                    result.totalDiskWrites));
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: nvfs_sim <command> [options]\n"
+        "  generate --trace N [--scale S] --out FILE [--text] "
+        "[--compat]\n"
+        "  validate --in FILE [--text]\n"
+        "  lifetime --trace N | --in FILE\n"
+        "  profile  --trace N | --in FILE\n"
+        "  client   --trace N --model volatile|write-aside|unified\n"
+        "           [--volatile 8M] [--nvram 1M] [--policy "
+        "lru|random|clock]\n"
+        "           [--block-callbacks] [--crash 300s:0]\n"
+        "  server   [--hours 24] [--buffer 512K] [--scale S]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string command = argv[1];
+    const Args args(argc, argv, 2);
+    if (command == "generate")
+        return cmdGenerate(args);
+    if (command == "validate")
+        return cmdValidate(args);
+    if (command == "lifetime")
+        return cmdLifetime(args);
+    if (command == "profile")
+        return cmdProfile(args);
+    if (command == "client")
+        return cmdClient(args);
+    if (command == "server")
+        return cmdServer(args);
+    usage();
+    return 1;
+}
