@@ -8,6 +8,7 @@
  */
 
 #include "bench_util.hpp"
+#include "core/sim/sweep.hpp"
 
 using namespace nvfs;
 
@@ -32,16 +33,28 @@ main()
                            "write % (plain)", "write % (pref)",
                            "read MB (plain)", "read MB (pref)",
                            "total % (plain)", "total % (pref)"});
-    for (const double age_s : {30.0, 300.0, 1800.0}) {
-        for (const double mb : {1.0, 4.0}) {
+    const double ages_s[] = {30.0, 300.0, 1800.0};
+    const double sizes_mb[] = {1.0, 4.0};
+    std::vector<core::ModelConfig> models;
+    for (const double age_s : ages_s) {
+        for (const double mb : sizes_mb) {
             core::ModelConfig model;
             model.kind = core::ModelKind::Volatile;
             model.volatileBytes = static_cast<Bytes>(mb * kMiB);
             model.writeBackAge = secondsUs(age_s);
-
-            const auto plain = core::runClientSim(ops, model);
+            models.push_back(model);
             model.dirtyPreference = true;
-            const auto pref = core::runClientSim(ops, model);
+            models.push_back(model);
+        }
+    }
+    const core::SweepRunner runner;
+    const auto results = runner.runClientSweep(ops, models);
+
+    std::size_t next = 0;
+    for (const double age_s : ages_s) {
+        for (const double mb : sizes_mb) {
+            const auto &plain = results[next++];
+            const auto &pref = results[next++];
 
             table.addRow(
                 {util::formatDuration(secondsUs(age_s)),

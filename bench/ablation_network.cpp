@@ -12,6 +12,7 @@
  */
 
 #include "bench_util.hpp"
+#include "core/sim/sweep.hpp"
 #include "net/network_model.hpp"
 
 using namespace nvfs;
@@ -30,19 +31,29 @@ main()
     const net::NetworkModel wire;
     const TimeUs day = 24 * kUsPerHour;
 
-    util::TextTable table({"volatile MB", "write share of traffic %",
-                           "wire time (volatile) s",
-                           "wire time (+1 MB NVRAM) s", "saving %"});
-    for (const double mb : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+    const double cache_mb[] = {4.0, 8.0, 16.0, 32.0, 64.0};
+    std::vector<core::ModelConfig> models;
+    for (const double mb : cache_mb) {
         core::ModelConfig vol;
         vol.kind = core::ModelKind::Volatile;
         vol.volatileBytes = static_cast<Bytes>(mb * kMiB);
-        const auto base = core::runClientSim(ops, vol);
+        models.push_back(vol);
 
         core::ModelConfig uni = vol;
         uni.kind = core::ModelKind::Unified;
         uni.nvramBytes = kMiB;
-        const auto nvram = core::runClientSim(ops, uni);
+        models.push_back(uni);
+    }
+    const core::SweepRunner runner;
+    const auto results = runner.runClientSweep(ops, models);
+
+    util::TextTable table({"volatile MB", "write share of traffic %",
+                           "wire time (volatile) s",
+                           "wire time (+1 MB NVRAM) s", "saving %"});
+    std::size_t next = 0;
+    for (const double mb : cache_mb) {
+        const auto &base = results[next++];
+        const auto &nvram = results[next++];
 
         const Bytes base_total =
             base.totalServerWrites() + base.serverReadBytes;

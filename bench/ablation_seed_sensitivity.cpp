@@ -9,8 +9,21 @@
  */
 
 #include "bench_util.hpp"
+#include "core/sim/sweep.hpp"
 
 using namespace nvfs;
+
+namespace {
+
+/** Everything one trace realization contributes to the spreads. */
+struct SeedResult
+{
+    double absorbedPct = 0;
+    core::Metrics volatileMetrics;
+    core::Metrics unifiedMetrics;
+};
+
+} // namespace
 
 int
 main()
@@ -30,24 +43,38 @@ main()
     util::Accumulator volatile_total;
     bool ordering_held = true;
 
+    // Each realization regenerates the trace and runs three analyses;
+    // seeds are fully independent, so one parallel task per seed.
+    std::vector<std::function<SeedResult()>> tasks;
     for (const std::uint64_t seed : seeds) {
-        const auto ops = core::opsWithSeed(7, scale, seed);
-        const auto life = core::analyzeLifetimes(ops);
-        absorbed_pct.add(
-            100.0 * static_cast<double>(life.absorbedBytes()) /
-            static_cast<double>(life.totalWritten));
+        tasks.push_back([scale, seed] {
+            const auto ops = core::opsWithSeed(7, scale, seed);
+            const auto life = core::analyzeLifetimes(ops);
 
-        core::ModelConfig vol;
-        vol.kind = core::ModelKind::Volatile;
-        vol.volatileBytes = 8 * kMiB;
-        const auto vol_metrics = core::runClientSim(ops, vol);
+            SeedResult result;
+            result.absorbedPct =
+                100.0 * static_cast<double>(life.absorbedBytes()) /
+                static_cast<double>(life.totalWritten);
+
+            core::ModelConfig vol;
+            vol.kind = core::ModelKind::Volatile;
+            vol.volatileBytes = 8 * kMiB;
+            result.volatileMetrics = core::runClientSim(ops, vol);
+
+            core::ModelConfig uni = vol;
+            uni.kind = core::ModelKind::Unified;
+            uni.nvramBytes = kMiB;
+            result.unifiedMetrics = core::runClientSim(ops, uni);
+            return result;
+        });
+    }
+    const core::SweepRunner runner;
+    for (const SeedResult &result : runner.map(tasks)) {
+        absorbed_pct.add(result.absorbedPct);
+        const auto &vol_metrics = result.volatileMetrics;
+        const auto &uni_metrics = result.unifiedMetrics;
         volatile_write.add(vol_metrics.netWriteTrafficPct());
         volatile_total.add(vol_metrics.netTotalTrafficPct());
-
-        core::ModelConfig uni = vol;
-        uni.kind = core::ModelKind::Unified;
-        uni.nvramBytes = kMiB;
-        const auto uni_metrics = core::runClientSim(ops, uni);
         unified_write.add(uni_metrics.netWriteTrafficPct());
         unified_total.add(uni_metrics.netTotalTrafficPct());
 

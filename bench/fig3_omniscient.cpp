@@ -7,6 +7,7 @@
  */
 
 #include "bench_util.hpp"
+#include "core/sim/sweep.hpp"
 
 using namespace nvfs;
 
@@ -29,19 +30,36 @@ main()
         headers.push_back("trace " + std::to_string(t));
     util::TextTable table(std::move(headers));
 
+    // Warm the per-trace memoized caches serially, then fan the whole
+    // (size x trace) grid out across the workers.
+    for (int t = 1; t <= 8; ++t) {
+        core::standardOps(t, scale);
+        core::standardOracle(t, scale);
+    }
+    std::vector<std::function<core::Metrics()>> tasks;
+    for (const double mb : sizes_mb) {
+        for (int t = 1; t <= 8; ++t) {
+            tasks.push_back([t, mb, scale] {
+                const auto &ops = core::standardOps(t, scale);
+                core::ModelConfig model;
+                model.kind = core::ModelKind::Unified;
+                model.volatileBytes = 8 * kMiB;
+                model.nvramBytes = static_cast<Bytes>(mb * kMiB);
+                model.nvramPolicy = cache::PolicyKind::Omniscient;
+                model.oracle = &core::standardOracle(t, scale);
+                return core::runClientSim(ops, model);
+            });
+        }
+    }
+    const core::SweepRunner runner;
+    const auto results = runner.map(tasks);
+
+    std::size_t next = 0;
     for (const double mb : sizes_mb) {
         std::vector<std::string> row = {util::format("%g", mb)};
-        for (int t = 1; t <= 8; ++t) {
-            const auto &ops = core::standardOps(t, scale);
-            core::ModelConfig model;
-            model.kind = core::ModelKind::Unified;
-            model.volatileBytes = 8 * kMiB;
-            model.nvramBytes = static_cast<Bytes>(mb * kMiB);
-            model.nvramPolicy = cache::PolicyKind::Omniscient;
-            model.oracle = &core::standardOracle(t, scale);
-            const core::Metrics metrics = core::runClientSim(ops, model);
-            row.push_back(bench::pct(metrics.netWriteTrafficPct()));
-        }
+        for (int t = 1; t <= 8; ++t)
+            row.push_back(
+                bench::pct(results[next++].netWriteTrafficPct()));
         table.addRow(std::move(row));
     }
     std::printf("%s\n", table.render("net write traffic (%)").c_str());

@@ -7,6 +7,7 @@
  */
 
 #include "bench_util.hpp"
+#include "core/sim/sweep.hpp"
 
 using namespace nvfs;
 
@@ -25,10 +26,8 @@ main()
     const double sizes_mb[] = {0.03125, 0.0625, 0.125, 0.25, 0.5,
                                1, 2, 4, 8, 16};
 
-    util::TextTable table({"NVRAM (MB)", "LRU", "random", "clock",
-                           "omniscient"});
+    std::vector<core::ModelConfig> models;
     for (const double mb : sizes_mb) {
-        std::vector<std::string> row = {util::format("%g", mb)};
         for (const auto policy :
              {cache::PolicyKind::Lru, cache::PolicyKind::Random,
               cache::PolicyKind::Clock, cache::PolicyKind::Omniscient}) {
@@ -39,9 +38,20 @@ main()
             model.nvramPolicy = policy;
             if (policy == cache::PolicyKind::Omniscient)
                 model.oracle = &core::standardOracle(trace, scale);
-            const core::Metrics metrics = core::runClientSim(ops, model);
-            row.push_back(bench::pct(metrics.netWriteTrafficPct()));
+            models.push_back(model);
         }
+    }
+    const core::SweepRunner runner;
+    const auto results = runner.runClientSweep(ops, models);
+
+    util::TextTable table({"NVRAM (MB)", "LRU", "random", "clock",
+                           "omniscient"});
+    std::size_t next = 0;
+    for (const double mb : sizes_mb) {
+        std::vector<std::string> row = {util::format("%g", mb)};
+        for (int column = 0; column < 4; ++column)
+            row.push_back(
+                bench::pct(results[next++].netWriteTrafficPct()));
         table.addRow(std::move(row));
     }
     std::printf("%s\n", table.render("net write traffic (%)").c_str());

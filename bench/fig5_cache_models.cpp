@@ -7,6 +7,7 @@
  */
 
 #include "bench_util.hpp"
+#include "core/sim/sweep.hpp"
 
 using namespace nvfs;
 
@@ -23,42 +24,41 @@ main()
     const auto &ops = core::standardOps(7, scale);
     const double extra_mb[] = {0, 0.5, 1, 2, 4, 6, 8};
 
-    util::TextTable table({"extra MB", "volatile", "write-aside",
-                           "unified"});
+    // Build the whole grid row-major, then fan it out.
+    std::vector<core::ModelConfig> models;
     for (const double extra : extra_mb) {
-        std::vector<std::string> row = {util::format("%g", extra)};
-
         // Volatile model: extra volatile memory.
         core::ModelConfig vol;
         vol.kind = core::ModelKind::Volatile;
         vol.volatileBytes = static_cast<Bytes>((8 + extra) * kMiB);
-        row.push_back(
-            bench::pct(core::runClientSim(ops, vol)
-                           .netTotalTrafficPct()));
+        models.push_back(vol);
 
-        // NVRAM models: extra NVRAM on top of the 8 MB base.
+        // NVRAM models: extra NVRAM on top of the 8 MB base.  No
+        // NVRAM at all degenerates to the volatile model without the
+        // 30-second write-back; use the smallest representable NVRAM
+        // (one block) for continuity.
         for (const auto kind :
              {core::ModelKind::WriteAside, core::ModelKind::Unified}) {
-            if (extra == 0) {
-                // No NVRAM at all degenerates to the volatile model
-                // without the 30-second write-back; use the smallest
-                // representable NVRAM (one block) for continuity.
-                core::ModelConfig model;
-                model.kind = kind;
-                model.volatileBytes = 8 * kMiB;
-                model.nvramBytes = kBlockSize;
-                row.push_back(bench::pct(
-                    core::runClientSim(ops, model)
-                        .netTotalTrafficPct()));
-                continue;
-            }
             core::ModelConfig model;
             model.kind = kind;
             model.volatileBytes = 8 * kMiB;
-            model.nvramBytes = static_cast<Bytes>(extra * kMiB);
-            row.push_back(bench::pct(
-                core::runClientSim(ops, model).netTotalTrafficPct()));
+            model.nvramBytes = extra == 0
+                                   ? kBlockSize
+                                   : static_cast<Bytes>(extra * kMiB);
+            models.push_back(model);
         }
+    }
+    const core::SweepRunner runner;
+    const auto results = runner.runClientSweep(ops, models);
+
+    util::TextTable table({"extra MB", "volatile", "write-aside",
+                           "unified"});
+    std::size_t next = 0;
+    for (const double extra : extra_mb) {
+        std::vector<std::string> row = {util::format("%g", extra)};
+        for (int column = 0; column < 3; ++column)
+            row.push_back(
+                bench::pct(results[next++].netTotalTrafficPct()));
         table.addRow(std::move(row));
     }
     std::printf("%s\n", table.render("net total traffic (%)").c_str());

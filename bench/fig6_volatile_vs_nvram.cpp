@@ -8,6 +8,7 @@
  */
 
 #include "bench_util.hpp"
+#include "core/sim/sweep.hpp"
 
 using namespace nvfs;
 
@@ -23,18 +24,16 @@ main()
     const auto &ops = core::standardOps(7, scale);
     const double extra_mb[] = {0, 0.5, 1, 2, 4, 6, 8};
 
-    util::TextTable table({"extra MB", "volatile-8MB", "unified-8MB",
-                           "volatile-16MB", "unified-16MB"});
+    // Row-major grid: (extra) x (volatile-8, unified-8, volatile-16,
+    // unified-16), matching the table columns.
+    std::vector<core::ModelConfig> models;
     for (const double extra : extra_mb) {
-        std::vector<std::string> row = {util::format("%g", extra)};
         for (const Bytes base : {Bytes{8 * kMiB}, Bytes{16 * kMiB}}) {
             core::ModelConfig vol;
             vol.kind = core::ModelKind::Volatile;
             vol.volatileBytes =
                 base + static_cast<Bytes>(extra * kMiB);
-            row.insert(row.begin() + (base == 8 * kMiB ? 1 : 3),
-                       bench::pct(core::runClientSim(ops, vol)
-                                      .netTotalTrafficPct()));
+            models.push_back(vol);
 
             core::ModelConfig uni;
             uni.kind = core::ModelKind::Unified;
@@ -42,10 +41,20 @@ main()
             uni.nvramBytes = extra == 0
                                  ? kBlockSize
                                  : static_cast<Bytes>(extra * kMiB);
-            row.insert(row.begin() + (base == 8 * kMiB ? 2 : 4),
-                       bench::pct(core::runClientSim(ops, uni)
-                                      .netTotalTrafficPct()));
+            models.push_back(uni);
         }
+    }
+    const core::SweepRunner runner;
+    const auto results = runner.runClientSweep(ops, models);
+
+    util::TextTable table({"extra MB", "volatile-8MB", "unified-8MB",
+                           "volatile-16MB", "unified-16MB"});
+    std::size_t next = 0;
+    for (const double extra : extra_mb) {
+        std::vector<std::string> row = {util::format("%g", extra)};
+        for (int column = 0; column < 4; ++column)
+            row.push_back(
+                bench::pct(results[next++].netTotalTrafficPct()));
         table.addRow(std::move(row));
     }
     std::printf("%s\n", table.render("net total traffic (%)").c_str());

@@ -9,6 +9,7 @@
 
 #include "cache/block_cache.hpp"
 #include "core/sim/experiments.hpp"
+#include "core/sim/sweep.hpp"
 #include "lfs/log.hpp"
 #include "util/interval_set.hpp"
 #include "util/rng.hpp"
@@ -108,6 +109,32 @@ BM_ClientSimTrace7(benchmark::State &state)
         static_cast<std::int64_t>(ops.ops.size()));
 }
 BENCHMARK(BM_ClientSimTrace7);
+
+void
+BM_SweepRunner(benchmark::State &state)
+{
+    // An 8-config unified-model grid fanned out over Arg(0) worker
+    // threads; Arg(0)=1 is the serial baseline for the speedup.
+    const auto &ops = core::standardOps(7, 0.05);
+    std::vector<core::ModelConfig> models;
+    for (const double mb : {0.25, 0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 16.0}) {
+        core::ModelConfig model;
+        model.kind = core::ModelKind::Unified;
+        model.volatileBytes = 8 * kMiB;
+        model.nvramBytes = static_cast<Bytes>(mb * kMiB);
+        models.push_back(model);
+    }
+    const core::SweepRunner runner(
+        static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        const auto results = runner.runClientSweep(ops, models);
+        benchmark::DoNotOptimize(results.front().appWriteBytes);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(models.size()));
+}
+BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 } // namespace
 

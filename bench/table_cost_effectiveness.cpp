@@ -7,6 +7,7 @@
  */
 
 #include "bench_util.hpp"
+#include "core/sim/sweep.hpp"
 #include "nvram/cost.hpp"
 
 using namespace nvfs;
@@ -14,10 +15,11 @@ using namespace nvfs;
 namespace {
 
 std::vector<nvram::CurvePoint>
-buildCurve(const prep::OpStream &ops, core::ModelKind kind, Bytes base,
+buildCurve(const core::SweepRunner &runner, const prep::OpStream &ops,
+           core::ModelKind kind, Bytes base,
            const std::vector<double> &extras_mb)
 {
-    std::vector<nvram::CurvePoint> curve;
+    std::vector<core::ModelConfig> models;
     for (const double extra : extras_mb) {
         core::ModelConfig model;
         model.kind = kind;
@@ -30,10 +32,14 @@ buildCurve(const prep::OpStream &ops, core::ModelKind kind, Bytes base,
                 extra == 0 ? kBlockSize
                            : static_cast<Bytes>(extra * kMiB);
         }
-        curve.push_back(
-            {extra,
-             core::runClientSim(ops, model).netTotalTrafficPct()});
+        models.push_back(model);
     }
+    const auto results = runner.runClientSweep(ops, models);
+
+    std::vector<nvram::CurvePoint> curve;
+    for (std::size_t i = 0; i < extras_mb.size(); ++i)
+        curve.push_back(
+            {extras_mb[i], results[i].netTotalTrafficPct()});
     return curve;
 }
 
@@ -54,12 +60,13 @@ main()
     const std::vector<double> extras = {0, 0.5, 1, 2, 4, 6, 8};
 
     const double dram = nvram::dramPricePerMB();
+    const core::SweepRunner runner;
 
     for (const Bytes base : {Bytes{8 * kMiB}, Bytes{16 * kMiB}}) {
-        const auto vol_curve =
-            buildCurve(ops, core::ModelKind::Volatile, base, extras);
-        const auto uni_curve =
-            buildCurve(ops, core::ModelKind::Unified, base, extras);
+        const auto vol_curve = buildCurve(
+            runner, ops, core::ModelKind::Volatile, base, extras);
+        const auto uni_curve = buildCurve(
+            runner, ops, core::ModelKind::Unified, base, extras);
 
         std::printf("base volatile cache: %s\n",
                     util::formatBytes(base).c_str());

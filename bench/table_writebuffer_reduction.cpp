@@ -8,6 +8,7 @@
  */
 
 #include "bench_util.hpp"
+#include "core/sim/sweep.hpp"
 
 using namespace nvfs;
 
@@ -22,9 +23,20 @@ main()
     const double scale = core::benchScale();
     const TimeUs duration = 24 * kUsPerHour;
 
-    const auto baseline = core::runServerSim(duration, scale, 0);
-    const auto buffered =
-        core::runServerSim(duration, scale, 512 * kKiB);
+    // The whole study — baseline plus every ablation buffer size —
+    // is one parallel server sweep.
+    const Bytes sweep_sizes[] = {64 * kKiB,  128 * kKiB, 256 * kKiB,
+                                 512 * kKiB, kMiB,       2 * kMiB,
+                                 4 * kMiB};
+    std::vector<core::ServerSweepConfig> configs;
+    configs.push_back({duration, scale, 0});
+    for (const Bytes size : sweep_sizes)
+        configs.push_back({duration, scale, size});
+    const core::SweepRunner runner;
+    const auto runs = runner.runServerSweep(configs);
+
+    const auto &baseline = runs[0];
+    const auto &buffered = runs[4]; // the 512 KiB run
 
     util::TextTable table({"File system", "disk writes (no NVRAM)",
                            "disk writes (1/2 MB)", "reduction %",
@@ -61,9 +73,9 @@ main()
                                static_cast<unsigned long long>(
                                    baseline.totalDiskWrites)),
                   "0.0"});
-    for (const Bytes size : {64 * kKiB, 128 * kKiB, 256 * kKiB,
-                             512 * kKiB, kMiB, 2 * kMiB, 4 * kMiB}) {
-        const auto run = core::runServerSim(duration, scale, size);
+    for (std::size_t i = 0; i < std::size(sweep_sizes); ++i) {
+        const Bytes size = sweep_sizes[i];
+        const auto &run = runs[i + 1];
         sweep.addRow({util::formatBytes(size),
                       util::format("%llu",
                                    static_cast<unsigned long long>(

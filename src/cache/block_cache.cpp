@@ -41,16 +41,20 @@ CacheBlock &
 BlockCache::insert(const BlockId &id, TimeUs now)
 {
     NVFS_REQUIRE(!full(), "insert into full cache (evict first)");
-    NVFS_REQUIRE(!contains(id), "double insert of cache block");
     lru_.push_back(id);
     Slot slot;
     slot.block.id = id;
     slot.block.lastAccess = now;
     slot.lruPos = std::prev(lru_.end());
-    blocks_.emplace(id, std::move(slot));
+    const auto [it, inserted] = blocks_.emplace(id, std::move(slot));
+    NVFS_REQUIRE(inserted, "double insert of cache block");
+    if (cleanTracking_) {
+        cleanLru_.push_back(id);
+        it->second.cleanPos = std::prev(cleanLru_.end());
+    }
     byFile_[id.file].insert(id.index);
     policy_->onInsert(id, now);
-    return blocks_.find(id)->second.block;
+    return it->second.block;
 }
 
 void
@@ -59,6 +63,8 @@ BlockCache::touch(const BlockId &id, TimeUs now)
     Slot &slot = slotOf(id, "touch");
     slot.block.lastAccess = now;
     lru_.splice(lru_.end(), lru_, slot.lruPos);
+    if (cleanTracking_ && !slot.block.isDirty())
+        cleanLru_.splice(cleanLru_.end(), cleanLru_, slot.cleanPos);
     policy_->onAccess(id, now);
 }
 
@@ -79,6 +85,8 @@ BlockCache::markDirty(const BlockId &id, Bytes begin, Bytes end,
         ++dirtyBlocks_;
         dirtyOrder_.push_back(id);
         slot.dirtyPos = std::prev(dirtyOrder_.end());
+        if (cleanTracking_)
+            cleanLru_.erase(slot.cleanPos);
     }
     block.lastModify = now;
     block.lastAccess = now;
@@ -95,6 +103,11 @@ BlockCache::markClean(const BlockId &id)
         dirtyBytes_ -= block.dirtyBytes();
         --dirtyBlocks_;
         dirtyOrder_.erase(slot.dirtyPos);
+        block.dirty.clear();
+        block.dirtySince = kNoTime;
+        if (cleanTracking_)
+            linkClean(id, slot);
+        return;
     }
     block.dirty.clear();
     block.dirtySince = kNoTime;
@@ -115,6 +128,8 @@ BlockCache::trimDirty(const BlockId &id, Bytes begin, Bytes end)
         block.dirtySince = kNoTime;
         --dirtyBlocks_;
         dirtyOrder_.erase(slot.dirtyPos);
+        if (cleanTracking_)
+            linkClean(id, slot);
     }
     return removed;
 }
@@ -128,6 +143,8 @@ BlockCache::remove(const BlockId &id)
         dirtyBytes_ -= out.dirtyBytes();
         --dirtyBlocks_;
         dirtyOrder_.erase(slot.dirtyPos);
+    } else if (cleanTracking_) {
+        cleanLru_.erase(slot.cleanPos);
     }
     lru_.erase(slot.lruPos);
     blocks_.erase(id);
@@ -147,43 +164,72 @@ BlockCache::chooseVictim(TimeUs now)
     return policy_->chooseVictim(now);
 }
 
-std::optional<BlockId>
-BlockCache::lruCleanBlock() const
+void
+BlockCache::enableCleanTracking()
 {
+    cleanTracking_ = true;
+    cleanLru_.clear();
     for (const BlockId &id : lru_) {
-        if (!blocks_.find(id)->second.block.isDirty())
-            return id;
+        Slot &slot = blocks_.find(id)->second;
+        if (!slot.block.isDirty()) {
+            cleanLru_.push_back(id);
+            slot.cleanPos = std::prev(cleanLru_.end());
+        }
     }
-    return std::nullopt;
+}
+
+void
+BlockCache::linkClean(const BlockId &id, Slot &slot)
+{
+    // Insert before the next clean block in LRU order so cleanLru_
+    // stays exactly the clean subsequence of lru_.  The walk is
+    // bounded by the run of dirty blocks following this one; cleaned
+    // blocks are usually near other clean ones, so it is short.
+    for (auto it = std::next(slot.lruPos); it != lru_.end(); ++it) {
+        const Slot &other = blocks_.find(*it)->second;
+        if (!other.block.isDirty()) {
+            slot.cleanPos = cleanLru_.insert(other.cleanPos, id);
+            return;
+        }
+    }
+    cleanLru_.push_back(id);
+    slot.cleanPos = std::prev(cleanLru_.end());
+}
+
+std::optional<BlockId>
+BlockCache::lruCleanBlock()
+{
+    if (!cleanTracking_)
+        enableCleanTracking();
+    if (cleanLru_.empty())
+        return std::nullopt;
+    return cleanLru_.front();
 }
 
 CacheBlock &
 BlockCache::insertOrdered(const BlockId &id, TimeUs access_time)
 {
     NVFS_REQUIRE(!full(), "insertOrdered into full cache");
-    NVFS_REQUIRE(!contains(id), "double insert of cache block");
     // Find the position that keeps lastAccess ascending.  Walk from
     // whichever end is closer: demoted blocks from a small NVRAM are
     // usually young (near the MRU end), while genuinely old blocks
     // sit near the front.
+    auto last_access = [this](const BlockId &at) -> TimeUs {
+        return blocks_.find(at)->second.block.lastAccess;
+    };
     auto pos = lru_.end();
-    if (!lru_.empty() &&
-        access_time >=
-            blocks_.find(lru_.back())->second.block.lastAccess) {
+    if (!lru_.empty() && access_time >= last_access(lru_.back())) {
         // Younger than everything: plain MRU insert.
     } else if (!lru_.empty() &&
-               access_time <= blocks_.find(lru_.front())
-                                  ->second.block.lastAccess) {
+               access_time <= last_access(lru_.front())) {
         pos = lru_.begin();
     } else {
         // Walk backwards from the MRU end.
         pos = lru_.end();
         while (pos != lru_.begin()) {
             auto prev = std::prev(pos);
-            if (blocks_.find(*prev)->second.block.lastAccess <=
-                access_time) {
+            if (last_access(*prev) <= access_time)
                 break;
-            }
             pos = prev;
         }
     }
@@ -192,10 +238,13 @@ BlockCache::insertOrdered(const BlockId &id, TimeUs access_time)
     slot.block.id = id;
     slot.block.lastAccess = access_time;
     slot.lruPos = list_it;
-    blocks_.emplace(id, std::move(slot));
+    const auto [it, inserted] = blocks_.emplace(id, std::move(slot));
+    NVFS_REQUIRE(inserted, "double insert of cache block");
+    if (cleanTracking_)
+        linkClean(id, it->second);
     byFile_[id.file].insert(id.index);
     policy_->onInsert(id, access_time);
-    return blocks_.find(id)->second.block;
+    return it->second.block;
 }
 
 std::optional<BlockId>

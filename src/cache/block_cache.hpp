@@ -116,8 +116,12 @@ class BlockCache
      * Least-recently-accessed *clean* resident block; nullopt when
      * every resident block is dirty (or the cache is empty).  Used by
      * the dirty-preference ablation of Sprite's real policy.
+     *
+     * O(1) after the first call: the first call switches the cache
+     * into clean-ordering maintenance (cleanLru_, updated on every
+     * dirty-state transition) so callers that never ask pay nothing.
      */
-    std::optional<BlockId> lruCleanBlock() const;
+    std::optional<BlockId> lruCleanBlock();
 
     /**
      * Insert a clean block *ordered by access time* instead of at the
@@ -163,9 +167,18 @@ class BlockCache
         std::list<BlockId>::iterator lruPos;
         /** Position in dirtyOrder_ (valid only while dirty). */
         std::list<BlockId>::iterator dirtyPos;
+        /** Position in cleanLru_ (valid only while clean and while
+         *  clean tracking is enabled). */
+        std::list<BlockId>::iterator cleanPos;
     };
 
     Slot &slotOf(const BlockId &id, const char *what);
+
+    /** Start maintaining cleanLru_; builds it from the current LRU. */
+    void enableCleanTracking();
+
+    /** Link a (now clean) slot into cleanLru_ at its lru_ position. */
+    void linkClean(const BlockId &id, Slot &slot);
 
     std::uint64_t capacity_;
     std::unique_ptr<ReplacementPolicy> policy_;
@@ -175,6 +188,11 @@ class BlockCache
      *  dirtySince is monotone along this list because it is only set
      *  on the clean->dirty transition. */
     std::list<BlockId> dirtyOrder_;
+    /** Clean blocks as a subsequence of lru_ (front = least recently
+     *  used clean block).  Empty and unmaintained until the first
+     *  lruCleanBlock() call flips cleanTracking_. */
+    std::list<BlockId> cleanLru_;
+    bool cleanTracking_ = false;
     std::map<FileId, std::set<std::uint32_t>> byFile_;
     Bytes dirtyBytes_ = 0;
     std::uint64_t dirtyBlocks_ = 0;

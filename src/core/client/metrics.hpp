@@ -109,6 +109,9 @@ struct Metrics
 
     /** Merge counters from another run (summing traces). */
     void merge(const Metrics &other);
+
+    /** Counter-for-counter equality (sweep determinism checks). */
+    bool operator==(const Metrics &other) const = default;
 };
 
 } // namespace nvfs::core

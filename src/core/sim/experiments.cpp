@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <tuple>
 
 #include "prep/converter.hpp"
@@ -17,6 +18,19 @@ namespace nvfs::core {
 namespace {
 
 using TraceKey = std::tuple<int, double, bool>;
+
+/**
+ * One mutex per memoized cache.  Each accessor holds its cache's
+ * mutex for the whole call (including first-touch generation) so a
+ * concurrent SweepRunner task either finds the entry or waits for the
+ * thread generating it; the unique_ptr values keep returned
+ * references stable across later insertions.  standardLifetimes and
+ * standardOracle call standardOps while holding their own mutex; the
+ * lock order (lifetime/oracle -> trace) is acyclic.
+ */
+std::mutex traceMutex;
+std::mutex lifetimeMutex;
+std::mutex oracleMutex;
 
 std::map<TraceKey, std::unique_ptr<prep::OpStream>> &
 traceCache()
@@ -47,6 +61,7 @@ const prep::OpStream &
 standardOps(int paper_number, double scale, bool sprite_compat)
 {
     const TraceKey key{paper_number, scale, sprite_compat};
+    const std::lock_guard<std::mutex> lock(traceMutex);
     auto &cache = traceCache();
     auto it = cache.find(key);
     if (it != cache.end())
@@ -84,6 +99,7 @@ const LifetimeResult &
 standardLifetimes(int paper_number, double scale)
 {
     const std::pair<int, double> key{paper_number, scale};
+    const std::lock_guard<std::mutex> lock(lifetimeMutex);
     auto &cache = lifetimeCache();
     auto it = cache.find(key);
     if (it != cache.end())
@@ -99,6 +115,7 @@ const NextModifyIndex &
 standardOracle(int paper_number, double scale)
 {
     const std::pair<int, double> key{paper_number, scale};
+    const std::lock_guard<std::mutex> lock(oracleMutex);
     auto &cache = oracleCache();
     auto it = cache.find(key);
     if (it != cache.end())

@@ -4,7 +4,9 @@
  * integration tests: generate a standard trace, preprocess it, run the
  * lifetime pass or a cluster simulation, and run the server-side LFS
  * study.  Generated traces are memoized per (trace, scale, dialect) so
- * parameter sweeps don't regenerate them.
+ * parameter sweeps don't regenerate them.  The memoized accessors are
+ * thread-safe (mutex-guarded with stable references), so SweepRunner
+ * tasks may call them concurrently.
  */
 
 #pragma once

@@ -1,0 +1,58 @@
+#include "core/sim/sweep.hpp"
+
+#include "core/client/cluster_sim.hpp"
+
+namespace nvfs::core {
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs == 0 ? util::defaultJobCount() : jobs)
+{
+}
+
+std::vector<Metrics>
+SweepRunner::runClientSweep(const prep::OpStream &ops,
+                            const std::vector<ModelConfig> &models,
+                            std::uint64_t seed) const
+{
+    std::vector<std::function<Metrics()>> tasks;
+    tasks.reserve(models.size());
+    for (const ModelConfig &model : models) {
+        tasks.push_back(
+            [&ops, model, seed] { return runClientSim(ops, model, seed); });
+    }
+    return map(tasks);
+}
+
+std::vector<Metrics>
+SweepRunner::runClusterSweep(
+    const prep::OpStream &ops,
+    const std::vector<ClusterConfig> &configs) const
+{
+    std::vector<std::function<Metrics()>> tasks;
+    tasks.reserve(configs.size());
+    for (const ClusterConfig &config : configs) {
+        tasks.push_back([&ops, config] {
+            ClusterSim sim(config, std::max<std::uint32_t>(
+                                       1, ops.clientCount));
+            return sim.run(ops);
+        });
+    }
+    return map(tasks);
+}
+
+std::vector<ServerRunResult>
+SweepRunner::runServerSweep(
+    const std::vector<ServerSweepConfig> &configs) const
+{
+    std::vector<std::function<ServerRunResult()>> tasks;
+    tasks.reserve(configs.size());
+    for (const ServerSweepConfig &config : configs) {
+        tasks.push_back([config] {
+            return runServerSim(config.duration, config.scale,
+                                config.nvramBufferBytes, config.seed);
+        });
+    }
+    return map(tasks);
+}
+
+} // namespace nvfs::core

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * SweepRunner: the parallel experiment engine behind the figure/table
+ * benches and the nvfs_sim sweep command.
+ *
+ * Every paper reproduction runs dozens of *independent* simulator
+ * configurations (cache size x model x policy grids).  SweepRunner
+ * fans such a grid out across NVFS_JOBS worker threads and returns
+ * the results in submission order, so a parallel sweep is
+ * bit-identical to the serial loop it replaces: each task owns its
+ * ClusterSim/FileServer instance and its own deterministic Rng, and
+ * the only shared state — the memoized standardOps/standardLifetimes/
+ * standardOracle caches — is mutex-guarded with stable references.
+ */
+
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "core/sim/experiments.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nvfs::core {
+
+/** One server-study configuration in a sweep grid. */
+struct ServerSweepConfig
+{
+    TimeUs duration = 24 * kUsPerHour;
+    double scale = 1.0;
+    Bytes nvramBufferBytes = 0; ///< 0 = baseline (no write buffer)
+    std::uint64_t seed = 7;
+};
+
+/** Thread-pool-backed parallel experiment engine. */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker threads; 0 = util::defaultJobCount() */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /** Worker threads a sweep will use. */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run every task and return their results in submission order.
+     * R must be default-constructible.  With one worker (or one task)
+     * the tasks run inline on the calling thread.  If any task threw,
+     * the first exception (in submission order) is rethrown after all
+     * tasks finished.
+     */
+    template <typename R>
+    std::vector<R>
+    map(const std::vector<std::function<R()>> &tasks) const
+    {
+        std::vector<R> results(tasks.size());
+        const auto worker_count =
+            std::min<std::size_t>(jobs_, tasks.size());
+        if (worker_count <= 1) {
+            for (std::size_t i = 0; i < tasks.size(); ++i)
+                results[i] = tasks[i]();
+            return results;
+        }
+        std::vector<std::exception_ptr> errors(tasks.size());
+        {
+            util::ThreadPool pool(
+                static_cast<unsigned>(worker_count));
+            for (std::size_t i = 0; i < tasks.size(); ++i) {
+                pool.submit([&tasks, &results, &errors, i] {
+                    try {
+                        results[i] = tasks[i]();
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                });
+            }
+            pool.wait();
+        }
+        for (const std::exception_ptr &error : errors) {
+            if (error)
+                std::rethrow_exception(error);
+        }
+        return results;
+    }
+
+    /**
+     * Run one client simulation per model over a shared op stream
+     * (the common figure grid).  Equivalent to calling runClientSim
+     * on each model in order.
+     */
+    std::vector<Metrics>
+    runClientSweep(const prep::OpStream &ops,
+                   const std::vector<ModelConfig> &models,
+                   std::uint64_t seed = 42) const;
+
+    /**
+     * Run one full cluster simulation per config (for sweeps that
+     * vary more than the model: callbacks, crashes, seeds).
+     */
+    std::vector<Metrics>
+    runClusterSweep(const prep::OpStream &ops,
+                    const std::vector<ClusterConfig> &configs) const;
+
+    /** Run one Section 3 server study per config. */
+    std::vector<ServerRunResult>
+    runServerSweep(const std::vector<ServerSweepConfig> &configs) const;
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace nvfs::core

@@ -56,13 +56,15 @@ class IntervalSet
         }
         Bytes new_begin = begin;
         Bytes new_end = end;
+        Bytes absorbed = 0;
         while (it != ranges_.end() && it->first <= new_end) {
             new_begin = std::min(new_begin, it->first);
             new_end = std::max(new_end, it->second);
+            absorbed += it->second - it->first;
             it = ranges_.erase(it);
         }
         ranges_.emplace(new_begin, new_end);
-        recount();
+        total_ += (new_end - new_begin) - absorbed;
     }
 
     /** Remove [begin, end) from the set, splitting runs as needed. */
@@ -86,10 +88,10 @@ class IntervalSet
                 to_add.emplace_back(rb, begin);
             if (re > end)
                 to_add.emplace_back(end, re);
+            total_ -= std::min(re, end) - std::max(rb, begin);
         }
         for (const auto &[b, e] : to_add)
             ranges_.emplace(b, e);
-        recount();
     }
 
     /** Total bytes covered. */
@@ -143,14 +145,6 @@ class IntervalSet
     }
 
   private:
-    void
-    recount()
-    {
-        total_ = 0;
-        for (const auto &[b, e] : ranges_)
-            total_ += e - b;
-    }
-
     std::map<Bytes, Bytes> ranges_; // begin -> end
     Bytes total_ = 0;
 };

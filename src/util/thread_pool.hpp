@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A small fixed-size worker-thread pool.
+ *
+ * Backs nvfs::core::SweepRunner: tasks are plain std::function<void()>
+ * closures executed FIFO by NVFS_JOBS worker threads.  The pool makes
+ * no fairness or affinity promises — it exists to fan independent
+ * simulator runs out across cores, not to schedule fine-grained work.
+ * Tasks must not throw; wrap user code that can fail and capture the
+ * exception (SweepRunner stores an exception_ptr per task).
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nvfs::util {
+
+/**
+ * Worker count for parallel sweeps: the NVFS_JOBS environment
+ * variable when set to a positive integer, else the hardware thread
+ * count (and 1 when even that is unknown).
+ */
+inline unsigned
+defaultJobCount()
+{
+    if (const char *env = std::getenv("NVFS_JOBS")) {
+        const int jobs = std::atoi(env);
+        if (jobs > 0)
+            return static_cast<unsigned>(jobs);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+/** Fixed set of worker threads draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 = defaultJobCount() */
+    explicit ThreadPool(unsigned threads = 0)
+    {
+        if (threads == 0)
+            threads = defaultJobCount();
+        workers_.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Drains the queue, then joins the workers. */
+    ~ThreadPool()
+    {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        wake_.notify_all();
+        for (std::thread &worker : workers_)
+            worker.join();
+    }
+
+    /** Enqueue a task.  Never blocks on task execution. */
+    void
+    submit(std::function<void()> task)
+    {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++pending_;
+            queue_.push_back(std::move(task));
+        }
+        wake_.notify_one();
+    }
+
+    /** Block until every submitted task has finished running. */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return pending_ == 0; });
+    }
+
+    /** Number of worker threads. */
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [this] {
+                    return stopping_ || !queue_.empty();
+                });
+                if (queue_.empty())
+                    return; // stopping and drained
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                if (--pending_ == 0)
+                    idle_.notify_all();
+            }
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    std::size_t pending_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace nvfs::util

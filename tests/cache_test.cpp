@@ -156,6 +156,114 @@ TEST(BlockCache, LruCleanBlockSkipsDirty)
     EXPECT_FALSE(cache.lruCleanBlock().has_value());
 }
 
+TEST(BlockCache, LruCleanBlockTracksTransitions)
+{
+    // Exercise the lazily-enabled clean-ordering maintenance across
+    // every dirty-state transition after the first lruCleanBlock()
+    // call flips tracking on.
+    BlockCache cache(8);
+    cache.insert(id(1), 1);
+    cache.insert(id(2), 2);
+    cache.insert(id(3), 3);
+    EXPECT_EQ(*cache.lruCleanBlock(), id(1)); // enables tracking
+
+    // markDirty is also an access: 1 leaves the clean list AND moves
+    // to the MRU end of the overall LRU.
+    cache.markDirty(id(1), 0, 10, 4);
+    EXPECT_EQ(*cache.lruCleanBlock(), id(2));
+
+    cache.touch(id(2), 5); // clean block to MRU end
+    EXPECT_EQ(*cache.lruCleanBlock(), id(3));
+
+    // dirty -> clean rejoins at its LRU slot: lru_ is now [3, 1, 2],
+    // so 1 must land between 3 and 2, not at either end.
+    cache.markClean(id(1));
+    EXPECT_EQ(*cache.lruCleanBlock(), id(3));
+    cache.remove(id(3)); // clean removal drops its entry
+    EXPECT_EQ(*cache.lruCleanBlock(), id(1));
+
+    cache.markDirty(id(1), 0, 10, 6);
+    cache.remove(id(1)); // dirty removal must not touch the clean list
+    EXPECT_EQ(*cache.lruCleanBlock(), id(2));
+
+    cache.insertOrdered(id(4), 1); // oldest access -> new clean LRU
+    EXPECT_EQ(*cache.lruCleanBlock(), id(4));
+
+    cache.markDirty(id(2), 0, 10, 7);
+    cache.markDirty(id(4), 0, 10, 8);
+    EXPECT_FALSE(cache.lruCleanBlock().has_value());
+
+    cache.trimDirty(id(4), 0, 10); // fully trimmed -> clean again
+    EXPECT_EQ(*cache.lruCleanBlock(), id(4));
+}
+
+TEST(BlockCache, LruCleanBlockMatchesReferenceScan)
+{
+    // Randomized churn: after every operation the maintained clean
+    // ordering must agree with a from-scratch scan for the clean
+    // block with the oldest access time.  Strictly increasing clock
+    // keeps the reference unambiguous.
+    BlockCache cache(0);
+    const auto reference = [&cache]() -> std::optional<BlockId> {
+        std::optional<BlockId> best;
+        TimeUs best_time = 0;
+        for (const BlockId &bid : cache.allBlocks()) {
+            const CacheBlock *block = cache.peek(bid);
+            if (block->isDirty())
+                continue;
+            if (!best || block->lastAccess < best_time) {
+                best = bid;
+                best_time = block->lastAccess;
+            }
+        }
+        return best;
+    };
+
+    std::uint64_t state = 12345;
+    const auto next = [&state] {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return state >> 33;
+    };
+
+    // Advance the clock by 100 per op: plain ops use `now` itself and
+    // insertOrdered picks from (now-100, now), so every access time in
+    // the cache is unique and the reference scan has no ties.
+    TimeUs now = 1000;
+    for (int i = 0; i < 2000; ++i) {
+        const BlockId bid{static_cast<FileId>(next() % 16),
+                          static_cast<std::uint32_t>(next() % 4)};
+        now += 100;
+        switch (next() % 6) {
+        case 0:
+            if (!cache.contains(bid))
+                cache.insert(bid, now);
+            break;
+        case 1:
+            if (!cache.contains(bid))
+                cache.insertOrdered(bid, now - 1 - next() % 99);
+            break;
+        case 2:
+            if (cache.contains(bid))
+                cache.touch(bid, now);
+            break;
+        case 3:
+            if (cache.contains(bid))
+                cache.markDirty(bid, 0, 100, now);
+            break;
+        case 4:
+            if (cache.contains(bid))
+                cache.markClean(bid);
+            break;
+        case 5:
+            if (cache.contains(bid))
+                cache.remove(bid);
+            break;
+        }
+        ASSERT_EQ(cache.lruCleanBlock(), reference())
+            << "divergence after op " << i;
+    }
+}
+
 TEST(BlockCache, InsertOrderedKeepsAccessOrder)
 {
     BlockCache cache(8);

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * SweepRunner determinism and thread-pool behavior: a parallel sweep
+ * must return exactly what the serial loop it replaces would have,
+ * in the same order, for any worker count — and the memoized
+ * experiment caches must be safe to hit from concurrent tasks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/sim/sweep.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nvfs::core {
+namespace {
+
+constexpr double kScale = 0.02;
+
+/** The grid every determinism test sweeps: 3 models x 4 sizes. */
+std::vector<ModelConfig>
+standardGrid()
+{
+    std::vector<ModelConfig> models;
+    for (const double mb : {0.25, 0.5, 1.0, 2.0}) {
+        for (const auto kind :
+             {ModelKind::Volatile, ModelKind::WriteAside,
+              ModelKind::Unified}) {
+            ModelConfig model;
+            model.kind = kind;
+            model.volatileBytes = 4 * kMiB;
+            model.nvramBytes = static_cast<Bytes>(mb * kMiB);
+            models.push_back(model);
+        }
+    }
+    return models;
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    util::ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    util::ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, DefaultJobCountIsPositive)
+{
+    EXPECT_GE(util::defaultJobCount(), 1u);
+}
+
+TEST(SweepRunner, MapPreservesSubmissionOrder)
+{
+    // More tasks than threads: results must still land in order.
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < 64; ++i)
+        tasks.push_back([i] { return i * i; });
+    const SweepRunner runner(4);
+    const auto results = runner.map(tasks);
+    ASSERT_EQ(results.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(results[i], i * i);
+}
+
+TEST(SweepRunner, MapRethrowsTaskExceptions)
+{
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+        tasks.push_back([i]() -> int {
+            if (i == 5)
+                throw std::runtime_error("task 5 failed");
+            return i;
+        });
+    }
+    const SweepRunner runner(4);
+    EXPECT_THROW(runner.map(tasks), std::runtime_error);
+}
+
+TEST(SweepRunner, EmptySweepIsEmpty)
+{
+    const SweepRunner runner(4);
+    EXPECT_TRUE(runner.map(std::vector<std::function<int()>>{})
+                    .empty());
+    EXPECT_TRUE(runner
+                    .runClientSweep(standardOps(7, kScale), {})
+                    .empty());
+}
+
+TEST(SweepRunner, JobsResolveToAtLeastOne)
+{
+    EXPECT_GE(SweepRunner().jobs(), 1u);
+    EXPECT_EQ(SweepRunner(3).jobs(), 3u);
+}
+
+TEST(SweepRunner, ClientSweepMatchesSerialForAnyWorkerCount)
+{
+    const auto &ops = standardOps(7, kScale);
+    const auto models = standardGrid();
+
+    std::vector<Metrics> serial;
+    for (const ModelConfig &model : models)
+        serial.push_back(runClientSim(ops, model));
+
+    for (const unsigned jobs : {1u, 2u, 8u}) {
+        const SweepRunner runner(jobs);
+        const auto parallel = runner.runClientSweep(ops, models);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            EXPECT_EQ(parallel[i], serial[i])
+                << "config " << i << " diverged at " << jobs
+                << " jobs";
+    }
+}
+
+TEST(SweepRunner, ClusterSweepMatchesSerial)
+{
+    const auto &ops = standardOps(2, kScale);
+    std::vector<ClusterConfig> configs;
+    for (const bool block_level : {false, true}) {
+        ClusterConfig config;
+        config.model.kind = ModelKind::Unified;
+        config.model.volatileBytes = 4 * kMiB;
+        config.model.nvramBytes = kMiB;
+        config.blockLevelCallbacks = block_level;
+        configs.push_back(config);
+    }
+
+    std::vector<Metrics> serial;
+    for (const ClusterConfig &config : configs) {
+        ClusterSim sim(config,
+                       std::max<std::uint32_t>(1, ops.clientCount));
+        serial.push_back(sim.run(ops));
+    }
+
+    const SweepRunner runner(2);
+    const auto parallel = runner.runClusterSweep(ops, configs);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(parallel[i], serial[i]);
+}
+
+TEST(SweepRunner, ServerSweepMatchesSerial)
+{
+    const TimeUs duration = kUsPerHour / 2;
+    std::vector<ServerSweepConfig> configs;
+    for (const Bytes buffer : {Bytes{0}, Bytes{128 * kKiB}})
+        configs.push_back({duration, 0.1, buffer});
+
+    std::vector<ServerRunResult> serial;
+    for (const ServerSweepConfig &config : configs)
+        serial.push_back(runServerSim(config.duration, config.scale,
+                                      config.nvramBufferBytes,
+                                      config.seed));
+
+    const SweepRunner runner(2);
+    const auto parallel = runner.runServerSweep(configs);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel[i].totalDiskWrites,
+                  serial[i].totalDiskWrites);
+        EXPECT_EQ(parallel[i].totalDataBytes,
+                  serial[i].totalDataBytes);
+        ASSERT_EQ(parallel[i].fs.size(), serial[i].fs.size());
+        for (std::size_t f = 0; f < serial[i].fs.size(); ++f) {
+            EXPECT_EQ(parallel[i].fs[f].log.segmentsWritten,
+                      serial[i].fs[f].log.segmentsWritten);
+            EXPECT_EQ(parallel[i].fs[f].log.dataBytes,
+                      serial[i].fs[f].log.dataBytes);
+        }
+    }
+}
+
+TEST(SweepRunner, ConcurrentFirstTouchOfMemoizedCaches)
+{
+    // Many tasks hitting the same *cold* memoized entries: the mutex
+    // guards must serialize generation and hand every task the same
+    // stable reference.  Uses a (trace, scale) pair no other test
+    // warms first.
+    std::vector<std::function<const prep::OpStream *()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+        tasks.push_back(
+            [] { return &standardOps(3, 0.011); });
+    }
+    const SweepRunner runner(8);
+    const auto pointers = runner.map(tasks);
+    for (const prep::OpStream *ops : pointers)
+        EXPECT_EQ(ops, pointers.front());
+
+    // Same for the lifetime and oracle caches.
+    std::vector<std::function<const void *()>> more;
+    for (int i = 0; i < 8; ++i)
+        more.push_back(
+            [] { return static_cast<const void *>(
+                     &standardLifetimes(3, 0.011)); });
+    for (int i = 0; i < 8; ++i)
+        more.push_back(
+            [] { return static_cast<const void *>(
+                     &standardOracle(3, 0.011)); });
+    const auto stable = runner.map(more);
+    for (int i = 1; i < 8; ++i)
+        EXPECT_EQ(stable[i], stable[0]);
+    for (int i = 9; i < 16; ++i)
+        EXPECT_EQ(stable[i], stable[8]);
+}
+
+TEST(SweepRunner, StressManyMoreTasksThanThreads)
+{
+    const auto &ops = standardOps(7, kScale);
+    ModelConfig model;
+    model.kind = ModelKind::Unified;
+    model.volatileBytes = 4 * kMiB;
+    model.nvramBytes = kMiB;
+    const Metrics expected = runClientSim(ops, model);
+
+    // 32 identical sims through 4 threads: every slot must hold the
+    // same metrics (no cross-task state leakage).
+    const std::vector<ModelConfig> models(32, model);
+    const SweepRunner runner(4);
+    const auto results = runner.runClientSweep(ops, models);
+    ASSERT_EQ(results.size(), 32u);
+    for (const Metrics &metrics : results)
+        EXPECT_EQ(metrics, expected);
+}
+
+} // namespace
+} // namespace nvfs::core

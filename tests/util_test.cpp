@@ -257,6 +257,36 @@ TEST(IntervalSet, EmptyRangesIgnored)
     EXPECT_TRUE(set.empty());
 }
 
+TEST(IntervalSet, IncrementalTotalMatchesRecount)
+{
+    // totalBytes() is maintained incrementally on every mutation; it
+    // must always equal a from-scratch recount over the runs.
+    const auto recount = [](const IntervalSet &set) {
+        Bytes total = 0;
+        for (const ByteRange &run : set.runs())
+            total += run.length();
+        return total;
+    };
+
+    Rng rng(99);
+    IntervalSet set;
+    for (int i = 0; i < 5000; ++i) {
+        const Bytes begin = rng.uniformInt(0, 4096);
+        const Bytes length = rng.uniformInt(0, 256);
+        // Mix of overlapping/adjacent/empty inserts and erases, with
+        // occasional clears to restart run growth.
+        const int op = static_cast<int>(rng.uniformInt(0, 9));
+        if (op == 0)
+            set.clear();
+        else if (op <= 6)
+            set.insert(begin, begin + length);
+        else
+            set.erase(begin, begin + length);
+        ASSERT_EQ(set.totalBytes(), recount(set))
+            << "divergence after op " << i;
+    }
+}
+
 // --------------------------------------------------------- IntervalMap
 
 TEST(IntervalMap, AssignDisplacesOverlap)

@@ -10,8 +10,13 @@
  *                     [--volatile 8M] [--nvram 1M] [--policy lru]
  *                     [--block-callbacks] [--crash 300s:0]
  *   nvfs_sim server   [--hours 24] [--buffer 512K] [--scale S]
+ *   nvfs_sim sweep    --trace 7 [--scale S] [--jobs N]
+ *                     [--models volatile,write-aside,unified]
+ *                     [--nvram 0.5M,1M,2M,4M] [--volatile 8M]
+ *                     [--policy lru]
  *
- * Sizes accept K/M/G suffixes; durations accept s/min/h.
+ * Sizes accept K/M/G suffixes; durations accept s/min/h.  Sweeps run
+ * --jobs experiments in parallel (default NVFS_JOBS, else all cores).
  */
 
 #include <cstdio>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "core/sim/experiments.hpp"
+#include "core/sim/sweep.hpp"
 #include "prep/characterize.hpp"
 #include "prep/converter.hpp"
 #include "trace/stream.hpp"
@@ -82,6 +88,48 @@ class Args
   private:
     std::map<std::string, std::string> values_;
 };
+
+/** Split a comma-separated option value. */
+std::vector<std::string>
+splitList(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        const auto comma = value.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(value.substr(start));
+            break;
+        }
+        out.push_back(value.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+core::ModelKind
+parseModelKind(const std::string &name)
+{
+    if (name == "volatile")
+        return core::ModelKind::Volatile;
+    if (name == "write-aside")
+        return core::ModelKind::WriteAside;
+    if (name == "unified")
+        return core::ModelKind::Unified;
+    util::fatal("unknown model '" + name + "'");
+}
+
+cache::PolicyKind
+parsePolicy(const std::string &name)
+{
+    if (name == "lru")
+        return cache::PolicyKind::Lru;
+    if (name == "random")
+        return cache::PolicyKind::Random;
+    if (name == "clock")
+        return cache::PolicyKind::Clock;
+    util::fatal("unknown policy '" + name + "' (lru|random|clock)");
+}
 
 trace::TraceBuffer
 loadOrGenerate(const Args &args)
@@ -180,29 +228,10 @@ cmdClient(const Args &args)
     const auto ops = prep::convertTrace(buffer);
 
     core::ClusterConfig config;
-    const std::string model = args.get("model", "unified");
-    if (model == "volatile") {
-        config.model.kind = core::ModelKind::Volatile;
-    } else if (model == "write-aside") {
-        config.model.kind = core::ModelKind::WriteAside;
-    } else if (model == "unified") {
-        config.model.kind = core::ModelKind::Unified;
-    } else {
-        util::fatal("unknown model '" + model + "'");
-    }
+    config.model.kind = parseModelKind(args.get("model", "unified"));
     config.model.volatileBytes = args.getBytes("volatile", 8 * kMiB);
     config.model.nvramBytes = args.getBytes("nvram", kMiB);
-    const std::string policy = args.get("policy", "lru");
-    if (policy == "lru") {
-        config.model.nvramPolicy = cache::PolicyKind::Lru;
-    } else if (policy == "random") {
-        config.model.nvramPolicy = cache::PolicyKind::Random;
-    } else if (policy == "clock") {
-        config.model.nvramPolicy = cache::PolicyKind::Clock;
-    } else {
-        util::fatal("unknown policy '" + policy +
-                    "' (lru|random|clock)");
-    }
+    config.model.nvramPolicy = parsePolicy(args.get("policy", "lru"));
     config.blockLevelCallbacks = args.has("block-callbacks");
     if (args.has("crash")) {
         // --crash 300s:0 — time and client id.
@@ -281,6 +310,69 @@ cmdServer(const Args &args)
     return 0;
 }
 
+int
+cmdSweep(const Args &args)
+{
+    const auto buffer = loadOrGenerate(args);
+    const auto ops = prep::convertTrace(buffer);
+
+    const auto model_names =
+        splitList(args.get("models", "volatile,write-aside,unified"));
+    const auto nvram_sizes =
+        splitList(args.get("nvram", "0.5M,1M,2M,4M"));
+    const Bytes volatile_bytes = args.getBytes("volatile", 8 * kMiB);
+    const auto policy = parsePolicy(args.get("policy", "lru"));
+
+    // The (model x NVRAM size) grid, row-major by NVRAM size.  The
+    // volatile model ignores NVRAM, so it contributes one run per
+    // size with the NVRAM budget added as volatile memory instead.
+    std::vector<core::ModelConfig> models;
+    for (const std::string &size_text : nvram_sizes) {
+        const Bytes nvram = util::parseBytes(size_text);
+        for (const std::string &name : model_names) {
+            core::ModelConfig model;
+            model.kind = parseModelKind(name);
+            model.nvramPolicy = policy;
+            if (model.kind == core::ModelKind::Volatile) {
+                model.volatileBytes = volatile_bytes + nvram;
+            } else {
+                model.volatileBytes = volatile_bytes;
+                model.nvramBytes = nvram;
+            }
+            models.push_back(model);
+        }
+    }
+
+    const core::SweepRunner runner(
+        static_cast<unsigned>(args.getInt("jobs", 0)));
+    const auto results = runner.runClientSweep(ops, models);
+
+    std::vector<std::string> headers = {"NVRAM"};
+    for (const std::string &name : model_names) {
+        headers.push_back(name + " write%");
+        headers.push_back(name + " total%");
+    }
+    util::TextTable table(std::move(headers));
+    std::size_t next = 0;
+    for (const std::string &size_text : nvram_sizes) {
+        std::vector<std::string> row = {size_text};
+        for (std::size_t m = 0; m < model_names.size(); ++m) {
+            const core::Metrics &metrics = results[next++];
+            row.push_back(
+                util::format("%.1f", metrics.netWriteTrafficPct()));
+            row.push_back(
+                util::format("%.1f", metrics.netTotalTrafficPct()));
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\n",
+                table.render(util::format(
+                                 "parallel sweep, %u jobs, %zu runs",
+                                 runner.jobs(), models.size()))
+                    .c_str());
+    return 0;
+}
+
 void
 usage()
 {
@@ -295,7 +387,11 @@ usage()
         "           [--volatile 8M] [--nvram 1M] [--policy "
         "lru|random|clock]\n"
         "           [--block-callbacks] [--crash 300s:0]\n"
-        "  server   [--hours 24] [--buffer 512K] [--scale S]\n");
+        "  server   [--hours 24] [--buffer 512K] [--scale S]\n"
+        "  sweep    --trace N [--scale S] [--jobs N]\n"
+        "           [--models volatile,write-aside,unified]\n"
+        "           [--nvram 0.5M,1M,2M,4M] [--volatile 8M]\n"
+        "           [--policy lru]\n");
 }
 
 } // namespace
@@ -321,6 +417,8 @@ main(int argc, char **argv)
         return cmdClient(args);
     if (command == "server")
         return cmdServer(args);
+    if (command == "sweep")
+        return cmdSweep(args);
     usage();
     return 1;
 }
