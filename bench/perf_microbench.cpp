@@ -5,12 +5,19 @@
  * selection, LFS block appends, and whole-trace simulation throughput.
  */
 
+#include <cstdio>
+#include <string>
+
 #include <benchmark/benchmark.h>
+
+#include <unistd.h>
 
 #include "cache/block_cache.hpp"
 #include "core/sim/experiments.hpp"
 #include "core/sim/sweep.hpp"
 #include "lfs/log.hpp"
+#include "prep/op_cache.hpp"
+#include "util/flat_map.hpp"
 #include "util/interval_set.hpp"
 #include "util/rng.hpp"
 
@@ -109,6 +116,87 @@ BM_ClientSimTrace7(benchmark::State &state)
         static_cast<std::int64_t>(ops.ops.size()));
 }
 BENCHMARK(BM_ClientSimTrace7);
+
+void
+BM_FlatMapLookup(benchmark::State &state)
+{
+    // Mixed hit/miss point lookups against a loaded table — the
+    // access pattern of the BlockCache index and ClusterSim maps.
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    util::FlatMap<std::uint64_t, std::uint64_t, util::SplitMix64Hash>
+        map;
+    map.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i)
+        map.insertOrAssign(i * 2, i); // even keys present, odd absent
+    util::Rng rng(5);
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        const auto key = static_cast<std::uint64_t>(
+            rng.uniformInt(0, static_cast<int>(2 * n - 1)));
+        const std::uint64_t *found = map.find(key);
+        sum += found == nullptr ? 1 : *found;
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlatMapLookup)->Arg(1024)->Arg(65536);
+
+void
+BM_OpStreamReplay(benchmark::State &state)
+{
+    // Pure op-dispatch scan over the SoA columns, the shape of the
+    // ClusterSim::run() main loop minus the model work.
+    const auto &ops = core::standardOps(7, 0.05);
+    const prep::OpColumns &col = ops.ops;
+    for (auto _ : state) {
+        Bytes read = 0;
+        Bytes written = 0;
+        std::uint64_t other = 0;
+        for (std::size_t i = 0; i < col.size(); ++i) {
+            switch (col.type[i]) {
+              case prep::OpType::Read:
+                read += col.length[i];
+                break;
+              case prep::OpType::Write:
+                written += col.length[i];
+                break;
+              default:
+                other += col.file[i];
+                break;
+            }
+        }
+        benchmark::DoNotOptimize(read + written + other);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(col.size()));
+}
+BENCHMARK(BM_OpStreamReplay);
+
+void
+BM_TraceCacheHit(benchmark::State &state)
+{
+    // Persistent-cache hit path: mmap + validate + column copy of a
+    // real cache file, i.e. what standardOps() costs on a warm cache.
+    const auto &ops = core::standardOps(7, 0.05);
+    const std::uint64_t hash = 0x1234abcdu;
+    const std::string path = "/tmp/nvfs_bench_ops_cache_" +
+                             std::to_string(::getpid()) + ".nvfsops";
+    if (!prep::storeCachedOps(path, ops, hash)) {
+        state.SkipWithError("cannot write bench cache file");
+        return;
+    }
+    for (auto _ : state) {
+        auto loaded = prep::loadCachedOps(path, hash);
+        benchmark::DoNotOptimize(loaded->ops.size());
+    }
+    std::remove(path.c_str());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(ops.ops.size()));
+}
+BENCHMARK(BM_TraceCacheHit);
 
 void
 BM_SweepRunner(benchmark::State &state)

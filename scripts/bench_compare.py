@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Run the perf microbenchmarks and emit BENCH_microbench.json.
+
+Runs ``perf_microbench`` with google-benchmark's JSON reporter,
+normalizes the result into a compact {benchmark: {real_time_ns, ...}}
+summary, and writes it to BENCH_microbench.json so CI can archive a
+perf snapshot per commit.  With ``--baseline previous.json`` it also
+prints a per-benchmark comparison and (with ``--max-regression``)
+fails when any benchmark slowed down beyond the allowed ratio.
+
+Usage:
+    bench_compare.py --bench build/bench/perf_microbench \
+        [--output BENCH_microbench.json] \
+        [--baseline old.json] [--max-regression 1.30] \
+        [--filter REGEX] [--min-time SECONDS]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def run_benchmarks(bench, bench_filter, min_time):
+    cmd = [
+        bench,
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark run failed: {' '.join(cmd)}")
+    return json.loads(proc.stdout)
+
+
+def summarize(raw):
+    """Flatten the google-benchmark report to one entry per benchmark."""
+    out = {"context": raw.get("context", {}), "benchmarks": {}}
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "real_time_ns": bench.get("real_time"),
+            "cpu_time_ns": bench.get("cpu_time"),
+            "iterations": bench.get("iterations"),
+        }
+        if "items_per_second" in bench:
+            entry["items_per_second"] = bench["items_per_second"]
+        out["benchmarks"][bench["name"]] = entry
+    return out
+
+
+def compare(current, baseline, max_regression):
+    """Print a comparison table; return names regressed past the cap."""
+    regressed = []
+    base = baseline.get("benchmarks", {})
+    rows = []
+    for name, entry in sorted(current["benchmarks"].items()):
+        now = entry.get("real_time_ns")
+        before = base.get(name, {}).get("real_time_ns")
+        if not now or not before:
+            rows.append((name, now, before, None))
+            continue
+        ratio = now / before
+        rows.append((name, now, before, ratio))
+        if max_regression is not None and ratio > max_regression:
+            regressed.append((name, ratio))
+
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"{'benchmark':<{width}}  {'now':>12}  {'base':>12}  ratio")
+    for name, now, before, ratio in rows:
+        now_s = f"{now:.0f}ns" if now else "-"
+        before_s = f"{before:.0f}ns" if before else "-"
+        ratio_s = f"{ratio:.2f}x" if ratio is not None else "new"
+        print(f"{name:<{width}}  {now_s:>12}  {before_s:>12}  {ratio_s}")
+    return regressed
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench",
+                        default="build/bench/perf_microbench",
+                        help="path to the perf_microbench binary")
+    parser.add_argument("--output", default="BENCH_microbench.json",
+                        help="where to write the JSON summary")
+    parser.add_argument("--baseline",
+                        help="previous BENCH_microbench.json to "
+                             "compare against")
+    parser.add_argument("--max-regression", type=float, default=None,
+                        help="fail if any benchmark's real time grows "
+                             "past this ratio vs the baseline "
+                             "(e.g. 1.30 = 30%% slower)")
+    parser.add_argument("--filter", dest="bench_filter", default=None,
+                        help="--benchmark_filter regex")
+    parser.add_argument("--min-time", type=float, default=0.05,
+                        help="--benchmark_min_time per benchmark")
+    args = parser.parse_args()
+
+    raw = run_benchmarks(args.bench, args.bench_filter, args.min_time)
+    summary = summarize(raw)
+    with open(args.output, "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output} "
+          f"({len(summary['benchmarks'])} benchmarks)")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        regressed = compare(summary, baseline, args.max_regression)
+        if regressed:
+            for name, ratio in regressed:
+                print(f"REGRESSION: {name} is {ratio:.2f}x the "
+                      f"baseline (cap {args.max_regression:.2f}x)",
+                      file=sys.stderr)
+            raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,7 @@
 #include "cache/block_cache.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -10,61 +12,155 @@ BlockCache::BlockCache(std::uint64_t capacity_blocks,
     : capacity_(capacity_blocks),
       policy_(policy ? std::move(policy) : makePolicy(PolicyKind::Lru))
 {
+    if (capacity_ != 0 && capacity_ < (1u << 20)) {
+        // Bounded caches are hot (one per simulated client): size the
+        // arena and index up front so the steady state never rehashes
+        // or reallocates.
+        arena_.reserve(capacity_);
+        index_.reserve(capacity_);
+    }
 }
 
 bool
 BlockCache::contains(const BlockId &id) const
 {
-    return blocks_.find(id) != blocks_.end();
+    return index_.contains(id);
 }
 
 const CacheBlock *
 BlockCache::peek(const BlockId &id) const
 {
-    auto it = blocks_.find(id);
-    return it == blocks_.end() ? nullptr : &it->second.block;
+    const std::uint32_t *idx = index_.find(id);
+    return idx == nullptr ? nullptr : &arena_[*idx].block;
 }
 
-BlockCache::Slot &
-BlockCache::slotOf(const BlockId &id, const char *what)
+std::uint32_t
+BlockCache::slotOf(const BlockId &id, const char *what) const
 {
-    auto it = blocks_.find(id);
-    if (it == blocks_.end()) {
+    const std::uint32_t *idx = index_.find(id);
+    if (idx == nullptr) {
         util::panic(util::format("%s: block file=%u idx=%u not resident",
                                  what, static_cast<unsigned>(id.file),
                                  id.index));
     }
-    return it->second;
+    return *idx;
+}
+
+std::uint32_t
+BlockCache::allocEntry()
+{
+    if (freeHead_ != kNil) {
+        const std::uint32_t idx = freeHead_;
+        freeHead_ = arena_[idx].nextFree;
+        arena_[idx] = Entry{};
+        return idx;
+    }
+    NVFS_REQUIRE(arena_.size() < kNil, "block cache arena exhausted");
+    arena_.emplace_back();
+    return static_cast<std::uint32_t>(arena_.size() - 1);
+}
+
+void
+BlockCache::freeEntry(std::uint32_t idx)
+{
+    arena_[idx] = Entry{};
+    arena_[idx].nextFree = freeHead_;
+    freeHead_ = idx;
+}
+
+void
+BlockCache::listPushBack(ListHead &list, Link Entry::*link,
+                         std::uint32_t idx)
+{
+    Link &mine = arena_[idx].*link;
+    mine.prev = list.tail;
+    mine.next = kNil;
+    if (list.tail != kNil)
+        (arena_[list.tail].*link).next = idx;
+    else
+        list.head = idx;
+    list.tail = idx;
+}
+
+void
+BlockCache::listRemove(ListHead &list, Link Entry::*link,
+                       std::uint32_t idx)
+{
+    Link &mine = arena_[idx].*link;
+    if (mine.prev != kNil)
+        (arena_[mine.prev].*link).next = mine.next;
+    else
+        list.head = mine.next;
+    if (mine.next != kNil)
+        (arena_[mine.next].*link).prev = mine.prev;
+    else
+        list.tail = mine.prev;
+    mine = Link{};
+}
+
+void
+BlockCache::listInsertBefore(ListHead &list, Link Entry::*link,
+                             std::uint32_t idx, std::uint32_t before)
+{
+    if (before == kNil) {
+        listPushBack(list, link, idx);
+        return;
+    }
+    Link &mine = arena_[idx].*link;
+    Link &other = arena_[before].*link;
+    mine.next = before;
+    mine.prev = other.prev;
+    if (other.prev != kNil)
+        (arena_[other.prev].*link).next = idx;
+    else
+        list.head = idx;
+    other.prev = idx;
+}
+
+void
+BlockCache::listMoveToBack(ListHead &list, Link Entry::*link,
+                           std::uint32_t idx)
+{
+    if (list.tail == idx)
+        return;
+    listRemove(list, link, idx);
+    listPushBack(list, link, idx);
+}
+
+CacheBlock &
+BlockCache::finishInsert(const BlockId &id, std::uint32_t idx)
+{
+    NVFS_REQUIRE(index_.tryEmplace(id, idx).second,
+                 "double insert of cache block");
+    listPushBack(byFile_[id.file], &Entry::file, idx);
+    return arena_[idx].block;
 }
 
 CacheBlock &
 BlockCache::insert(const BlockId &id, TimeUs now)
 {
     NVFS_REQUIRE(!full(), "insert into full cache (evict first)");
-    lru_.push_back(id);
-    Slot slot;
-    slot.block.id = id;
-    slot.block.lastAccess = now;
-    slot.lruPos = std::prev(lru_.end());
-    const auto [it, inserted] = blocks_.emplace(id, std::move(slot));
-    NVFS_REQUIRE(inserted, "double insert of cache block");
-    if (cleanTracking_) {
-        cleanLru_.push_back(id);
-        it->second.cleanPos = std::prev(cleanLru_.end());
-    }
-    byFile_[id.file].insert(id.index);
+    const std::uint32_t idx = allocEntry();
+    Entry &entry = arena_[idx];
+    entry.block.id = id;
+    entry.block.lastAccess = now;
+    listPushBack(lru_, &Entry::lru, idx);
+    if (cleanTracking_)
+        listPushBack(cleanLru_, &Entry::clean, idx);
+    CacheBlock &block = finishInsert(id, idx);
     policy_->onInsert(id, now);
-    return it->second.block;
+    return block;
 }
 
 void
 BlockCache::touch(const BlockId &id, TimeUs now)
 {
-    Slot &slot = slotOf(id, "touch");
-    slot.block.lastAccess = now;
-    lru_.splice(lru_.end(), lru_, slot.lruPos);
-    if (cleanTracking_ && !slot.block.isDirty())
-        cleanLru_.splice(cleanLru_.end(), cleanLru_, slot.cleanPos);
+    const std::uint32_t idx = slotOf(id, "touch");
+    Entry &entry = arena_[idx];
+    entry.block.lastAccess = now;
+    listMoveToBack(lru_, &Entry::lru, idx);
+    if (cleanTracking_ && !entry.block.isDirty())
+        listMoveToBack(cleanLru_, &Entry::clean, idx);
     policy_->onAccess(id, now);
 }
 
@@ -74,8 +170,9 @@ BlockCache::markDirty(const BlockId &id, Bytes begin, Bytes end,
 {
     NVFS_REQUIRE(end <= kBlockSize && begin < end,
                  "dirty range outside block");
-    Slot &slot = slotOf(id, "markDirty");
-    CacheBlock &block = slot.block;
+    const std::uint32_t idx = slotOf(id, "markDirty");
+    Entry &entry = arena_[idx];
+    CacheBlock &block = entry.block;
     const Bytes before = block.dirtyBytes();
     const bool was_dirty = block.isDirty();
     block.dirty.insert(begin, end);
@@ -83,30 +180,29 @@ BlockCache::markDirty(const BlockId &id, Bytes begin, Bytes end,
     if (!was_dirty) {
         block.dirtySince = now;
         ++dirtyBlocks_;
-        dirtyOrder_.push_back(id);
-        slot.dirtyPos = std::prev(dirtyOrder_.end());
+        listPushBack(dirtyOrder_, &Entry::dirty, idx);
         if (cleanTracking_)
-            cleanLru_.erase(slot.cleanPos);
+            listRemove(cleanLru_, &Entry::clean, idx);
     }
     block.lastModify = now;
     block.lastAccess = now;
-    lru_.splice(lru_.end(), lru_, slot.lruPos);
+    listMoveToBack(lru_, &Entry::lru, idx);
     policy_->onAccess(id, now);
 }
 
 void
 BlockCache::markClean(const BlockId &id)
 {
-    Slot &slot = slotOf(id, "markClean");
-    CacheBlock &block = slot.block;
+    const std::uint32_t idx = slotOf(id, "markClean");
+    CacheBlock &block = arena_[idx].block;
     if (block.isDirty()) {
         dirtyBytes_ -= block.dirtyBytes();
         --dirtyBlocks_;
-        dirtyOrder_.erase(slot.dirtyPos);
+        listRemove(dirtyOrder_, &Entry::dirty, idx);
         block.dirty.clear();
         block.dirtySince = kNoTime;
         if (cleanTracking_)
-            linkClean(id, slot);
+            linkClean(idx);
         return;
     }
     block.dirty.clear();
@@ -116,8 +212,8 @@ BlockCache::markClean(const BlockId &id)
 Bytes
 BlockCache::trimDirty(const BlockId &id, Bytes begin, Bytes end)
 {
-    Slot &slot = slotOf(id, "trimDirty");
-    CacheBlock &block = slot.block;
+    const std::uint32_t idx = slotOf(id, "trimDirty");
+    CacheBlock &block = arena_[idx].block;
     if (!block.isDirty())
         return 0;
     const Bytes before = block.dirtyBytes();
@@ -127,9 +223,9 @@ BlockCache::trimDirty(const BlockId &id, Bytes begin, Bytes end)
     if (block.dirty.empty()) {
         block.dirtySince = kNoTime;
         --dirtyBlocks_;
-        dirtyOrder_.erase(slot.dirtyPos);
+        listRemove(dirtyOrder_, &Entry::dirty, idx);
         if (cleanTracking_)
-            linkClean(id, slot);
+            linkClean(idx);
     }
     return removed;
 }
@@ -137,23 +233,25 @@ BlockCache::trimDirty(const BlockId &id, Bytes begin, Bytes end)
 CacheBlock
 BlockCache::remove(const BlockId &id)
 {
-    Slot &slot = slotOf(id, "remove");
-    CacheBlock out = std::move(slot.block);
+    const std::uint32_t idx = slotOf(id, "remove");
+    Entry &entry = arena_[idx];
+    CacheBlock out = std::move(entry.block);
     if (out.isDirty()) {
         dirtyBytes_ -= out.dirtyBytes();
         --dirtyBlocks_;
-        dirtyOrder_.erase(slot.dirtyPos);
+        listRemove(dirtyOrder_, &Entry::dirty, idx);
     } else if (cleanTracking_) {
-        cleanLru_.erase(slot.cleanPos);
+        listRemove(cleanLru_, &Entry::clean, idx);
     }
-    lru_.erase(slot.lruPos);
-    blocks_.erase(id);
-    auto file_it = byFile_.find(id.file);
-    if (file_it != byFile_.end()) {
-        file_it->second.erase(id.index);
-        if (file_it->second.empty())
-            byFile_.erase(file_it);
+    listRemove(lru_, &Entry::lru, idx);
+    ListHead *file_list = byFile_.find(id.file);
+    if (file_list != nullptr) {
+        listRemove(*file_list, &Entry::file, idx);
+        if (file_list->head == kNil)
+            byFile_.erase(id.file);
     }
+    index_.erase(id);
+    freeEntry(idx);
     policy_->onRemove(id);
     return out;
 }
@@ -168,32 +266,30 @@ void
 BlockCache::enableCleanTracking()
 {
     cleanTracking_ = true;
-    cleanLru_.clear();
-    for (const BlockId &id : lru_) {
-        Slot &slot = blocks_.find(id)->second;
-        if (!slot.block.isDirty()) {
-            cleanLru_.push_back(id);
-            slot.cleanPos = std::prev(cleanLru_.end());
-        }
+    cleanLru_ = ListHead{};
+    for (std::uint32_t idx = lru_.head; idx != kNil;
+         idx = arena_[idx].lru.next) {
+        if (!arena_[idx].block.isDirty())
+            listPushBack(cleanLru_, &Entry::clean, idx);
     }
 }
 
 void
-BlockCache::linkClean(const BlockId &id, Slot &slot)
+BlockCache::linkClean(std::uint32_t idx)
 {
-    // Insert before the next clean block in LRU order so cleanLru_
-    // stays exactly the clean subsequence of lru_.  The walk is
-    // bounded by the run of dirty blocks following this one; cleaned
-    // blocks are usually near other clean ones, so it is short.
-    for (auto it = std::next(slot.lruPos); it != lru_.end(); ++it) {
-        const Slot &other = blocks_.find(*it)->second;
-        if (!other.block.isDirty()) {
-            slot.cleanPos = cleanLru_.insert(other.cleanPos, id);
+    // Insert before the next clean block in LRU order so the clean
+    // list stays exactly the clean subsequence of the LRU.  The walk
+    // is bounded by the run of dirty blocks following this one;
+    // cleaned blocks are usually near other clean ones, so it is
+    // short.
+    for (std::uint32_t next = arena_[idx].lru.next; next != kNil;
+         next = arena_[next].lru.next) {
+        if (!arena_[next].block.isDirty()) {
+            listInsertBefore(cleanLru_, &Entry::clean, idx, next);
             return;
         }
     }
-    cleanLru_.push_back(id);
-    slot.cleanPos = std::prev(cleanLru_.end());
+    listPushBack(cleanLru_, &Entry::clean, idx);
 }
 
 std::optional<BlockId>
@@ -201,79 +297,77 @@ BlockCache::lruCleanBlock()
 {
     if (!cleanTracking_)
         enableCleanTracking();
-    if (cleanLru_.empty())
+    if (cleanLru_.head == kNil)
         return std::nullopt;
-    return cleanLru_.front();
+    return arena_[cleanLru_.head].block.id;
 }
 
 CacheBlock &
 BlockCache::insertOrdered(const BlockId &id, TimeUs access_time)
 {
     NVFS_REQUIRE(!full(), "insertOrdered into full cache");
+    const std::uint32_t idx = allocEntry();
+    Entry &entry = arena_[idx];
+    entry.block.id = id;
+    entry.block.lastAccess = access_time;
+
     // Find the position that keeps lastAccess ascending.  Walk from
     // whichever end is closer: demoted blocks from a small NVRAM are
     // usually young (near the MRU end), while genuinely old blocks
     // sit near the front.
-    auto last_access = [this](const BlockId &at) -> TimeUs {
-        return blocks_.find(at)->second.block.lastAccess;
+    auto last_access = [this](std::uint32_t at) -> TimeUs {
+        return arena_[at].block.lastAccess;
     };
-    auto pos = lru_.end();
-    if (!lru_.empty() && access_time >= last_access(lru_.back())) {
+    std::uint32_t before = kNil; // kNil = MRU end
+    if (lru_.tail != kNil && access_time >= last_access(lru_.tail)) {
         // Younger than everything: plain MRU insert.
-    } else if (!lru_.empty() &&
-               access_time <= last_access(lru_.front())) {
-        pos = lru_.begin();
+    } else if (lru_.head != kNil &&
+               access_time <= last_access(lru_.head)) {
+        before = lru_.head;
     } else {
         // Walk backwards from the MRU end.
-        pos = lru_.end();
-        while (pos != lru_.begin()) {
-            auto prev = std::prev(pos);
-            if (last_access(*prev) <= access_time)
-                break;
-            pos = prev;
+        std::uint32_t pos = lru_.tail;
+        while (pos != kNil && last_access(pos) > access_time) {
+            before = pos;
+            pos = arena_[pos].lru.prev;
         }
     }
-    auto list_it = lru_.insert(pos, id);
-    Slot slot;
-    slot.block.id = id;
-    slot.block.lastAccess = access_time;
-    slot.lruPos = list_it;
-    const auto [it, inserted] = blocks_.emplace(id, std::move(slot));
-    NVFS_REQUIRE(inserted, "double insert of cache block");
+    listInsertBefore(lru_, &Entry::lru, idx, before);
     if (cleanTracking_)
-        linkClean(id, it->second);
-    byFile_[id.file].insert(id.index);
+        linkClean(idx);
+    CacheBlock &block = finishInsert(id, idx);
     policy_->onInsert(id, access_time);
-    return it->second.block;
+    return block;
 }
 
 std::optional<BlockId>
 BlockCache::lruBlock() const
 {
-    if (lru_.empty())
+    if (lru_.head == kNil)
         return std::nullopt;
-    return lru_.front();
+    return arena_[lru_.head].block.id;
 }
 
 TimeUs
 BlockCache::lruAccessTime() const
 {
-    if (lru_.empty())
+    if (lru_.head == kNil)
         return kNoTime;
-    auto it = blocks_.find(lru_.front());
-    return it->second.block.lastAccess;
+    return arena_[lru_.head].block.lastAccess;
 }
 
 std::vector<BlockId>
 BlockCache::blocksOfFile(FileId file) const
 {
     std::vector<BlockId> out;
-    auto it = byFile_.find(file);
-    if (it == byFile_.end())
+    const ListHead *list = byFile_.find(file);
+    if (list == nullptr)
         return out;
-    out.reserve(it->second.size());
-    for (std::uint32_t index : it->second)
-        out.push_back({file, index});
+    for (std::uint32_t idx = list->head; idx != kNil;
+         idx = arena_[idx].file.next) {
+        out.push_back(arena_[idx].block.id);
+    }
+    std::sort(out.begin(), out.end());
     return out;
 }
 
@@ -282,7 +376,7 @@ BlockCache::dirtyBlocksOfFile(FileId file) const
 {
     std::vector<BlockId> out;
     for (const BlockId &id : blocksOfFile(file)) {
-        if (blocks_.find(id)->second.block.isDirty())
+        if (arena_[*index_.find(id)].block.isDirty())
             out.push_back(id);
     }
     return out;
@@ -291,17 +385,24 @@ BlockCache::dirtyBlocksOfFile(FileId file) const
 std::vector<BlockId>
 BlockCache::allDirtyBlocks() const
 {
-    return {dirtyOrder_.begin(), dirtyOrder_.end()};
+    std::vector<BlockId> out;
+    out.reserve(dirtyBlocks_);
+    for (std::uint32_t idx = dirtyOrder_.head; idx != kNil;
+         idx = arena_[idx].dirty.next) {
+        out.push_back(arena_[idx].block.id);
+    }
+    return out;
 }
 
 std::vector<BlockId>
 BlockCache::dirtyOlderThan(TimeUs cutoff) const
 {
     std::vector<BlockId> out;
-    for (const BlockId &id : dirtyOrder_) {
-        if (blocks_.find(id)->second.block.dirtySince > cutoff)
+    for (std::uint32_t idx = dirtyOrder_.head; idx != kNil;
+         idx = arena_[idx].dirty.next) {
+        if (arena_[idx].block.dirtySince > cutoff)
             break; // dirtySince ascends along the list
-        out.push_back(id);
+        out.push_back(arena_[idx].block.id);
     }
     return out;
 }
@@ -310,11 +411,11 @@ std::vector<BlockId>
 BlockCache::allBlocks() const
 {
     std::vector<BlockId> out;
-    out.reserve(blocks_.size());
-    for (const auto &[file, indices] : byFile_) {
-        for (std::uint32_t index : indices)
-            out.push_back({file, index});
-    }
+    out.reserve(index_.size());
+    index_.forEach([&](const BlockId &id, const std::uint32_t &) {
+        out.push_back(id);
+    });
+    std::sort(out.begin(), out.end());
     return out;
 }
 

@@ -11,21 +11,27 @@
  * policy because the unified model needs "the least-recently accessed
  * block in the volatile cache" as a comparison point even when the
  * NVRAM runs a different policy.
+ *
+ * Layout: all resident blocks live in one contiguous arena indexed by
+ * a flat open-addressing map, and every ordering (LRU, dirty order,
+ * clean LRU, per-file membership) is an intrusive doubly-linked list
+ * of 32-bit arena indices inside the entries themselves.  The per-op
+ * hot path (contains/touch/markDirty) therefore does no per-node
+ * allocation and no pointer chasing beyond a single map probe.
+ * Pointers and references returned by insert()/peek() are invalidated
+ * by a later insert (the arena may grow); use them before the next
+ * mutation, as all callers do.
  */
 
 #pragma once
 
-#include <functional>
-#include <list>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/block.hpp"
 #include "cache/policy.hpp"
+#include "util/flat_map.hpp"
 
 namespace nvfs::cache {
 
@@ -47,7 +53,7 @@ class BlockCache
     BlockCache &operator=(BlockCache &&) = default;
 
     /** Resident block count. */
-    std::uint64_t size() const { return blocks_.size(); }
+    std::uint64_t size() const { return index_.size(); }
 
     /** Capacity in blocks (0 = unbounded). */
     std::uint64_t capacityBlocks() const { return capacity_; }
@@ -118,8 +124,9 @@ class BlockCache
      * the dirty-preference ablation of Sprite's real policy.
      *
      * O(1) after the first call: the first call switches the cache
-     * into clean-ordering maintenance (cleanLru_, updated on every
-     * dirty-state transition) so callers that never ask pay nothing.
+     * into clean-ordering maintenance (the clean list, updated on
+     * every dirty-state transition) so callers that never ask pay
+     * nothing.
      */
     std::optional<BlockId> lruCleanBlock();
 
@@ -148,7 +155,7 @@ class BlockCache
      */
     std::vector<BlockId> dirtyOlderThan(TimeUs cutoff) const;
 
-    /** Every resident block. */
+    /** Every resident block, ordered by (file, index). */
     std::vector<BlockId> allBlocks() const;
 
     /** Total dirty bytes across resident blocks. */
@@ -161,39 +168,80 @@ class BlockCache
     PolicyKind policyKind() const { return policy_->kind(); }
 
   private:
-    struct Slot
+    /** Arena-index sentinel: "no entry" / list end. */
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    /** Intrusive (prev, next) link pair of one list membership. */
+    struct Link
     {
-        CacheBlock block;
-        std::list<BlockId>::iterator lruPos;
-        /** Position in dirtyOrder_ (valid only while dirty). */
-        std::list<BlockId>::iterator dirtyPos;
-        /** Position in cleanLru_ (valid only while clean and while
-         *  clean tracking is enabled). */
-        std::list<BlockId>::iterator cleanPos;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
     };
 
-    Slot &slotOf(const BlockId &id, const char *what);
+    /** One arena slot: the block plus its list memberships. */
+    struct Entry
+    {
+        CacheBlock block;
+        Link lru;   ///< global recency order (front = LRU)
+        Link dirty; ///< dirty blocks in order of becoming dirty
+        Link clean; ///< clean subsequence of lru (when tracking)
+        Link file;  ///< other resident blocks of the same file
+        /** Freelist chain when the slot is vacant. */
+        std::uint32_t nextFree = kNil;
+    };
 
-    /** Start maintaining cleanLru_; builds it from the current LRU. */
+    /** Head/tail of one intrusive list. */
+    struct ListHead
+    {
+        std::uint32_t head = kNil;
+        std::uint32_t tail = kNil;
+    };
+
+    std::uint32_t slotOf(const BlockId &id, const char *what) const;
+
+    /** Allocate an arena slot (reusing freed ones first). */
+    std::uint32_t allocEntry();
+
+    /** Return a slot to the freelist. */
+    void freeEntry(std::uint32_t idx);
+
+    void listPushBack(ListHead &list, Link Entry::*link,
+                      std::uint32_t idx);
+    void listRemove(ListHead &list, Link Entry::*link, std::uint32_t idx);
+    /** Insert `idx` before `before` (kNil = push_back). */
+    void listInsertBefore(ListHead &list, Link Entry::*link,
+                          std::uint32_t idx, std::uint32_t before);
+    /** Move an already-linked entry to the back (MRU end). */
+    void listMoveToBack(ListHead &list, Link Entry::*link,
+                        std::uint32_t idx);
+
+    /** Shared tail of insert()/insertOrdered(). */
+    CacheBlock &finishInsert(const BlockId &id, std::uint32_t idx);
+
+    /** Start maintaining the clean list; builds it from the LRU. */
     void enableCleanTracking();
 
-    /** Link a (now clean) slot into cleanLru_ at its lru_ position. */
-    void linkClean(const BlockId &id, Slot &slot);
+    /** Link a (now clean) entry into the clean list at its LRU spot. */
+    void linkClean(std::uint32_t idx);
 
     std::uint64_t capacity_;
     std::unique_ptr<ReplacementPolicy> policy_;
-    std::unordered_map<BlockId, Slot, BlockIdHash> blocks_;
-    std::list<BlockId> lru_; // front = least recently used
-    /** Dirty blocks in the order they became dirty (front = oldest).
-     *  dirtySince is monotone along this list because it is only set
-     *  on the clean->dirty transition. */
-    std::list<BlockId> dirtyOrder_;
+    /** BlockId -> arena index. */
+    util::FlatMap<BlockId, std::uint32_t, BlockIdHash> index_;
+    /** Contiguous block arena; vacant slots chain through nextFree. */
+    std::vector<Entry> arena_;
+    std::uint32_t freeHead_ = kNil;
+    ListHead lru_;
+    /** dirtySince is monotone along the dirty list because it is only
+     *  set on the clean->dirty transition. */
+    ListHead dirtyOrder_;
     /** Clean blocks as a subsequence of lru_ (front = least recently
-     *  used clean block).  Empty and unmaintained until the first
+     *  used clean block).  Unmaintained until the first
      *  lruCleanBlock() call flips cleanTracking_. */
-    std::list<BlockId> cleanLru_;
+    ListHead cleanLru_;
     bool cleanTracking_ = false;
-    std::map<FileId, std::set<std::uint32_t>> byFile_;
+    /** Per-file membership lists (order arbitrary; queries sort). */
+    util::FlatMap<FileId, ListHead, util::SplitMix64Hash> byFile_;
     Bytes dirtyBytes_ = 0;
     std::uint64_t dirtyBlocks_ = 0;
 };

@@ -1,10 +1,9 @@
 #include "cache/policy.hpp"
 
-#include <list>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.hpp"
 #include "util/log.hpp"
 
 namespace nvfs::cache {
@@ -23,48 +22,105 @@ policyName(PolicyKind kind)
 
 namespace {
 
-/** Classic LRU via intrusive list + iterator map. */
+/**
+ * Classic LRU via an index-based intrusive list: nodes live in a
+ * contiguous arena (vacant slots chained through a freelist) and a
+ * flat map resolves BlockId -> node index, so the per-access path is
+ * allocation-free and pointer-chase-free.
+ */
 class LruPolicy : public ReplacementPolicy
 {
   public:
     void
     onInsert(const BlockId &id, TimeUs) override
     {
-        order_.push_back(id);
-        where_[id] = std::prev(order_.end());
+        std::uint32_t idx;
+        if (freeHead_ != kNil) {
+            idx = freeHead_;
+            freeHead_ = nodes_[idx].next;
+        } else {
+            nodes_.emplace_back();
+            idx = static_cast<std::uint32_t>(nodes_.size() - 1);
+        }
+        nodes_[idx].id = id;
+        where_.insertOrAssign(id, idx);
+        pushBack(idx);
     }
 
     void
     onAccess(const BlockId &id, TimeUs) override
     {
-        auto it = where_.find(id);
-        NVFS_REQUIRE(it != where_.end(), "LRU access to absent block");
-        order_.splice(order_.end(), order_, it->second);
+        const std::uint32_t *idx = where_.find(id);
+        NVFS_REQUIRE(idx != nullptr, "LRU access to absent block");
+        if (tail_ == *idx)
+            return;
+        unlink(*idx);
+        pushBack(*idx);
     }
 
     void
     onRemove(const BlockId &id) override
     {
-        auto it = where_.find(id);
-        NVFS_REQUIRE(it != where_.end(), "LRU remove of absent block");
-        order_.erase(it->second);
-        where_.erase(it);
+        const std::uint32_t *found = where_.find(id);
+        NVFS_REQUIRE(found != nullptr, "LRU remove of absent block");
+        const std::uint32_t idx = *found;
+        unlink(idx);
+        nodes_[idx].next = freeHead_;
+        freeHead_ = idx;
+        where_.erase(id);
     }
 
     std::optional<BlockId>
     chooseVictim(TimeUs) override
     {
-        if (order_.empty())
+        if (head_ == kNil)
             return std::nullopt;
-        return order_.front();
+        return nodes_[head_].id;
     }
 
     PolicyKind kind() const override { return PolicyKind::Lru; }
 
   private:
-    std::list<BlockId> order_; // front = least recently used
-    std::unordered_map<BlockId, std::list<BlockId>::iterator,
-                       BlockIdHash> where_;
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    struct Node
+    {
+        BlockId id;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+    };
+
+    void
+    pushBack(std::uint32_t idx)
+    {
+        nodes_[idx].prev = tail_;
+        nodes_[idx].next = kNil;
+        if (tail_ != kNil)
+            nodes_[tail_].next = idx;
+        else
+            head_ = idx;
+        tail_ = idx;
+    }
+
+    void
+    unlink(std::uint32_t idx)
+    {
+        Node &node = nodes_[idx];
+        if (node.prev != kNil)
+            nodes_[node.prev].next = node.next;
+        else
+            head_ = node.next;
+        if (node.next != kNil)
+            nodes_[node.next].prev = node.prev;
+        else
+            tail_ = node.prev;
+    }
+
+    std::vector<Node> nodes_;
+    std::uint32_t head_ = kNil; // least recently used
+    std::uint32_t tail_ = kNil; // most recently used
+    std::uint32_t freeHead_ = kNil;
+    util::FlatMap<BlockId, std::uint32_t, BlockIdHash> where_;
 };
 
 /** Uniform-random victim via swap-remove vector. */
@@ -79,7 +135,7 @@ class RandomPolicy : public ReplacementPolicy
     void
     onInsert(const BlockId &id, TimeUs) override
     {
-        where_[id] = blocks_.size();
+        where_.insertOrAssign(id, blocks_.size());
         blocks_.push_back(id);
     }
 
@@ -88,14 +144,14 @@ class RandomPolicy : public ReplacementPolicy
     void
     onRemove(const BlockId &id) override
     {
-        auto it = where_.find(id);
-        NVFS_REQUIRE(it != where_.end(), "random remove of absent block");
-        const std::size_t idx = it->second;
+        const std::size_t *found = where_.find(id);
+        NVFS_REQUIRE(found != nullptr, "random remove of absent block");
+        const std::size_t idx = *found;
         const BlockId last = blocks_.back();
         blocks_[idx] = last;
-        where_[last] = idx;
+        where_.insertOrAssign(last, idx);
         blocks_.pop_back();
-        where_.erase(it);
+        where_.erase(id);
     }
 
     std::optional<BlockId>
@@ -111,7 +167,7 @@ class RandomPolicy : public ReplacementPolicy
   private:
     util::Rng *rng_;
     std::vector<BlockId> blocks_;
-    std::unordered_map<BlockId, std::size_t, BlockIdHash> where_;
+    util::FlatMap<BlockId, std::size_t, BlockIdHash> where_;
 };
 
 /** Second-chance clock sweep. */
@@ -121,28 +177,28 @@ class ClockPolicy : public ReplacementPolicy
     void
     onInsert(const BlockId &id, TimeUs) override
     {
-        where_[id] = frames_.size();
+        where_.insertOrAssign(id, frames_.size());
         frames_.push_back({id, true});
     }
 
     void
     onAccess(const BlockId &id, TimeUs) override
     {
-        auto it = where_.find(id);
-        NVFS_REQUIRE(it != where_.end(), "clock access to absent block");
-        frames_[it->second].referenced = true;
+        const std::size_t *found = where_.find(id);
+        NVFS_REQUIRE(found != nullptr, "clock access to absent block");
+        frames_[*found].referenced = true;
     }
 
     void
     onRemove(const BlockId &id) override
     {
-        auto it = where_.find(id);
-        NVFS_REQUIRE(it != where_.end(), "clock remove of absent block");
-        const std::size_t idx = it->second;
+        const std::size_t *found = where_.find(id);
+        NVFS_REQUIRE(found != nullptr, "clock remove of absent block");
+        const std::size_t idx = *found;
         frames_[idx] = frames_.back();
-        where_[frames_[idx].id] = idx;
+        where_.insertOrAssign(frames_[idx].id, idx);
         frames_.pop_back();
-        where_.erase(it);
+        where_.erase(id);
         if (hand_ >= frames_.size())
             hand_ = 0;
     }
@@ -175,7 +231,7 @@ class ClockPolicy : public ReplacementPolicy
     };
 
     std::vector<Frame> frames_;
-    std::unordered_map<BlockId, std::size_t, BlockIdHash> where_;
+    util::FlatMap<BlockId, std::size_t, BlockIdHash> where_;
     std::size_t hand_ = 0;
 };
 
@@ -197,30 +253,30 @@ class OmniscientPolicy : public ReplacementPolicy
     onInsert(const BlockId &id, TimeUs now) override
     {
         const TimeUs key = oracle_->nextModify(id, now);
-        keys_[id] = key;
+        keys_.insertOrAssign(id, key);
         byKey_.insert({key, id});
     }
 
     void
     onAccess(const BlockId &id, TimeUs now) override
     {
-        auto it = keys_.find(id);
-        NVFS_REQUIRE(it != keys_.end(), "omniscient access absent block");
+        TimeUs *key = keys_.find(id);
+        NVFS_REQUIRE(key != nullptr, "omniscient access absent block");
         const TimeUs fresh = oracle_->nextModify(id, now);
-        if (fresh == it->second)
+        if (fresh == *key)
             return;
-        byKey_.erase({it->second, id});
-        it->second = fresh;
+        byKey_.erase({*key, id});
+        *key = fresh;
         byKey_.insert({fresh, id});
     }
 
     void
     onRemove(const BlockId &id) override
     {
-        auto it = keys_.find(id);
-        NVFS_REQUIRE(it != keys_.end(), "omniscient remove absent block");
-        byKey_.erase({it->second, id});
-        keys_.erase(it);
+        const TimeUs *key = keys_.find(id);
+        NVFS_REQUIRE(key != nullptr, "omniscient remove absent block");
+        byKey_.erase({*key, id});
+        keys_.erase(id);
     }
 
     std::optional<BlockId>
@@ -235,7 +291,7 @@ class OmniscientPolicy : public ReplacementPolicy
 
   private:
     const NextModifyOracle *oracle_;
-    std::unordered_map<BlockId, TimeUs, BlockIdHash> keys_;
+    util::FlatMap<BlockId, TimeUs, BlockIdHash> keys_;
     std::set<std::pair<TimeUs, BlockId>> byKey_;
 };
 

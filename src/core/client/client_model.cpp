@@ -29,8 +29,8 @@ ClientModel::ClientModel(const ModelConfig &config, Metrics &metrics,
 Bytes
 ClientModel::blockTransferBytes(const cache::BlockId &id) const
 {
-    auto it = sizes_.find(id.file);
-    const Bytes size = it == sizes_.end() ? 0 : it->second;
+    const Bytes *found = sizes_.find(id.file);
+    const Bytes size = found == nullptr ? 0 : *found;
     const Bytes start = id.byteOffset();
     if (size <= start)
         return kBlockSize; // size unknown/stale: charge a full block

@@ -13,16 +13,16 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 
 #include "cache/block_cache.hpp"
 #include "core/client/metrics.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace nvfs::core {
 
 /** Current size of every file (maintained by the cluster sim). */
-using FileSizeMap = std::unordered_map<FileId, Bytes>;
+using FileSizeMap = util::FlatMap<FileId, Bytes, util::SplitMix64Hash>;
 
 /** Which cache organization a client runs. */
 enum class ModelKind { Volatile, WriteAside, Unified };

@@ -6,7 +6,6 @@
 
 namespace nvfs::core {
 
-using prep::Op;
 using prep::OpType;
 
 ClusterSim::ClusterSim(const ClusterConfig &config,
@@ -54,28 +53,37 @@ ClusterSim::run(const prep::OpStream &ops)
     nextCrash_ = 0;
     TimeUs last = 0;
 
-    for (const Op &op : ops.ops) {
-        NVFS_REQUIRE(op.time >= last, "ops out of order");
-        last = op.time;
-        advanceClock(op.time);
+    // Column-streaming replay: the dispatch path reads only the time
+    // and type columns sequentially; each case pulls just the columns
+    // it needs, so the loop moves through a few homogeneous arrays
+    // instead of striding over full Op records.
+    const prep::OpColumns &col = ops.ops;
+    const std::size_t count = col.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        const TimeUs now = col.time[i];
+        NVFS_REQUIRE(now >= last, "ops out of order");
+        last = now;
+        advanceClock(now);
 
         // Injected client crashes (Section 4 fault injection).
         while (nextCrash_ < config_.crashes.size() &&
-               config_.crashes[nextCrash_].first <= op.time) {
+               config_.crashes[nextCrash_].first <= now) {
             const auto [when, victim] = config_.crashes[nextCrash_++];
             if (victim < clients_.size()) {
                 clients_[victim]->crash(when);
                 // The recovered/lost data is no longer dirty anywhere.
-                std::erase_if(dirtyOwner_, [&](const auto &entry) {
-                    return entry.second == victim;
+                dirtyOwner_.eraseIf([&](FileId, ClientId owner) {
+                    return owner == victim;
                 });
             }
         }
 
-        switch (op.type) {
+        const FileId file = col.file[i];
+        switch (col.type[i]) {
           case OpType::Open: {
             const OpenActions actions = engine_.onOpen(
-                op.client, op.pid, op.file, op.openForWrite);
+                col.client[i], col.pid[i], file,
+                (col.openFlags[i] & prep::kOpenForWrite) != 0);
             if (actions.recallFrom != kNoClient &&
                 actions.recallFrom < clients_.size() &&
                 !config_.blockLevelCallbacks) {
@@ -83,124 +91,131 @@ ClusterSim::run(const prep::OpStream &ops)
                 // block-level callbacks the flush is deferred until
                 // the opener actually touches the data.
                 clients_[actions.recallFrom]->recall(
-                    op.file, WriteCause::Callback, op.time);
-                dirtyOwner_.erase(op.file);
+                    file, WriteCause::Callback, now);
+                dirtyOwner_.erase(file);
             }
             if (actions.disableCaching) {
-                flushEverywhere(op.file, op.time);
-                dirtyOwner_.erase(op.file);
+                flushEverywhere(file, now);
+                dirtyOwner_.erase(file);
             }
             break;
           }
           case OpType::Close:
-            engine_.onClose(op.client, op.pid, op.file);
+            engine_.onClose(col.client[i], col.pid[i], file);
             break;
           case OpType::Read: {
-            NVFS_REQUIRE(op.client < clients_.size(), "bad client");
-            auto &size = sizes_[op.file];
-            size = std::max(size, op.offset + op.length);
-            if (engine_.cachingDisabled(op.file)) {
+            const ClientId client = col.client[i];
+            const Bytes offset = col.offset[i];
+            const Bytes length = col.length[i];
+            NVFS_REQUIRE(client < clients_.size(), "bad client");
+            auto &size = sizes_[file];
+            size = std::max(size, offset + length);
+            if (engine_.cachingDisabled(file)) {
                 // Bypass: straight from the server.
-                metrics_.appReadBytes += op.length;
-                metrics_.serverReadBytes += op.length;
+                metrics_.appReadBytes += length;
+                metrics_.serverReadBytes += length;
             } else {
                 if (config_.blockLevelCallbacks) {
-                    auto it = dirtyOwner_.find(op.file);
-                    if (it != dirtyOwner_.end() &&
-                        it->second != op.client &&
-                        it->second < clients_.size()) {
-                        clients_[it->second]->recallRange(
-                            op.file, op.offset, op.length,
-                            WriteCause::Callback, op.time);
+                    const ClientId *owner = dirtyOwner_.find(file);
+                    if (owner != nullptr && *owner != client &&
+                        *owner < clients_.size()) {
+                        clients_[*owner]->recallRange(
+                            file, offset, length,
+                            WriteCause::Callback, now);
                     }
                 }
-                clients_[op.client]->read(op.file, op.offset,
-                                          op.length, op.time);
+                clients_[client]->read(file, offset, length, now);
             }
             break;
           }
           case OpType::Write: {
-            NVFS_REQUIRE(op.client < clients_.size(), "bad client");
-            auto &size = sizes_[op.file];
-            size = std::max(size, op.offset + op.length);
-            if (engine_.cachingDisabled(op.file)) {
+            const ClientId client = col.client[i];
+            const Bytes offset = col.offset[i];
+            const Bytes length = col.length[i];
+            NVFS_REQUIRE(client < clients_.size(), "bad client");
+            auto &size = sizes_[file];
+            size = std::max(size, offset + length);
+            if (engine_.cachingDisabled(file)) {
                 // Bypass: write-through to the server.
-                metrics_.appWriteBytes += op.length;
-                metrics_.addServerWrite(WriteCause::Concurrent,
-                                        op.length);
+                metrics_.appWriteBytes += length;
+                metrics_.addServerWrite(WriteCause::Concurrent, length);
                 if (config_.model.sink) {
-                    forEachBlock(op.file, op.offset, op.length,
+                    forEachBlock(file, offset, length,
                                  [&](const cache::BlockId &id,
                                      Bytes begin, Bytes end) {
                                      config_.model.sink->onServerWrite(
-                                         op.time, id.file, id.index,
+                                         now, id.file, id.index,
                                          end - begin,
                                          WriteCause::Concurrent);
                                  });
                 }
             } else {
                 if (config_.blockLevelCallbacks) {
-                    auto it = dirtyOwner_.find(op.file);
-                    if (it != dirtyOwner_.end() &&
-                        it->second != op.client &&
-                        it->second < clients_.size()) {
+                    const ClientId *owner = dirtyOwner_.find(file);
+                    if (owner != nullptr && *owner != client &&
+                        *owner < clients_.size()) {
                         // A new writer takes over: the old writer's
                         // whole dirty set must reach the server first.
-                        clients_[it->second]->recall(
-                            op.file, WriteCause::Callback, op.time);
+                        clients_[*owner]->recall(
+                            file, WriteCause::Callback, now);
                     }
                 }
-                clients_[op.client]->write(op.file, op.offset,
-                                           op.length, op.time);
-                engine_.onWrite(op.client, op.file);
-                lastWriterPid_[op.file] = {op.client, op.pid};
-                dirtyOwner_[op.file] = op.client;
+                clients_[client]->write(file, offset, length, now);
+                engine_.onWrite(client, file);
+                lastWriterPid_[file] = {client, col.pid[i]};
+                dirtyOwner_[file] = client;
             }
             break;
           }
           case OpType::Delete: {
-            engine_.onDelete(op.file);
+            engine_.onDelete(file);
             for (auto &client : clients_)
-                client->removeFile(op.file, op.time);
-            sizes_.erase(op.file);
-            lastWriterPid_.erase(op.file);
-            dirtyOwner_.erase(op.file);
+                client->removeFile(file, now);
+            sizes_.erase(file);
+            lastWriterPid_.erase(file);
+            dirtyOwner_.erase(file);
             break;
           }
           case OpType::Truncate: {
+            const Bytes length = col.length[i];
             for (auto &client : clients_)
-                client->truncate(op.file, op.length, op.time);
-            auto it = sizes_.find(op.file);
-            if (it != sizes_.end())
-                it->second = std::min(it->second, op.length);
+                client->truncate(file, length, now);
+            Bytes *size = sizes_.find(file);
+            if (size != nullptr)
+                *size = std::min(*size, length);
             break;
           }
           case OpType::Fsync: {
-            if (op.client < clients_.size() &&
-                !engine_.cachingDisabled(op.file)) {
-                clients_[op.client]->fsync(op.file, op.time);
+            const ClientId client = col.client[i];
+            if (client < clients_.size() &&
+                !engine_.cachingDisabled(file)) {
+                clients_[client]->fsync(file, now);
             }
             break;
           }
           case OpType::Migrate: {
-            if (op.client >= clients_.size())
+            const ClientId client = col.client[i];
+            const ProcId pid = col.pid[i];
+            if (client >= clients_.size())
                 break;
             // Flush the dirty data of every file this process last
             // wrote; in Sprite the migrated process's files must be
-            // visible at the target host.
+            // visible at the target host.  Victims are sorted so the
+            // flush order is independent of hash-table layout.
             std::vector<FileId> victims;
-            for (const auto &[file, writer] : lastWriterPid_) {
-                if (writer.first == op.client &&
-                    writer.second == op.pid) {
-                    victims.push_back(file);
-                }
-            }
-            for (FileId file : victims) {
-                clients_[op.client]->recall(file, WriteCause::Migration,
-                                            op.time);
-                engine_.clearWriter(file, op.client);
-                lastWriterPid_.erase(file);
-                dirtyOwner_.erase(file);
+            lastWriterPid_.forEach(
+                [&](FileId written,
+                    const std::pair<ClientId, ProcId> &writer) {
+                    if (writer.first == client && writer.second == pid)
+                        victims.push_back(written);
+                });
+            std::sort(victims.begin(), victims.end());
+            for (FileId victim : victims) {
+                clients_[client]->recall(victim, WriteCause::Migration,
+                                         now);
+                engine_.clearWriter(victim, client);
+                lastWriterPid_.erase(victim);
+                dirtyOwner_.erase(victim);
             }
             break;
           }

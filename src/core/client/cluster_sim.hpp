@@ -14,6 +14,7 @@
 #include "core/client/client_model.hpp"
 #include "core/client/server_state.hpp"
 #include "prep/ops.hpp"
+#include "util/flat_map.hpp"
 
 namespace nvfs::core {
 
@@ -63,9 +64,10 @@ class ClusterSim
     ConsistencyEngine engine_;
     std::vector<std::unique_ptr<ClientModel>> clients_;
     /** (client, pid) that last wrote each file, for migration. */
-    std::unordered_map<FileId, std::pair<ClientId, ProcId>> lastWriterPid_;
+    util::FlatMap<FileId, std::pair<ClientId, ProcId>,
+                  util::SplitMix64Hash> lastWriterPid_;
     /** Client holding dirty data per file (block-level callbacks). */
-    std::unordered_map<FileId, ClientId> dirtyOwner_;
+    util::FlatMap<FileId, ClientId, util::SplitMix64Hash> dirtyOwner_;
     std::size_t nextCrash_ = 0;
     TimeUs lastSweep_ = 0;
 };

@@ -14,33 +14,37 @@ NextModifyIndex::NextModifyIndex(const prep::OpStream &ops)
     // fanned out to the affected blocks.
     std::map<FileId, std::set<std::uint32_t>> live;
 
-    for (const prep::Op &op : ops.ops) {
-        switch (op.type) {
+    // Column scan: only time/type/file/offset/length are read.
+    const prep::OpColumns &col = ops.ops;
+    for (std::size_t i = 0; i < col.size(); ++i) {
+        const TimeUs time = col.time[i];
+        const FileId file = col.file[i];
+        switch (col.type[i]) {
           case prep::OpType::Write:
-            forEachBlock(op.file, op.offset, op.length,
+            forEachBlock(file, col.offset[i], col.length[i],
                          [&](const cache::BlockId &id, Bytes, Bytes) {
-                             times_[id].push_back(op.time);
-                             live[op.file].insert(id.index);
+                             times_[id].push_back(time);
+                             live[file].insert(id.index);
                          });
             break;
           case prep::OpType::Delete: {
-            auto it = live.find(op.file);
+            auto it = live.find(file);
             if (it == live.end())
                 break;
             for (std::uint32_t index : it->second)
-                times_[{op.file, index}].push_back(op.time);
+                times_[{file, index}].push_back(time);
             live.erase(it);
             break;
           }
           case prep::OpType::Truncate: {
-            auto it = live.find(op.file);
+            auto it = live.find(file);
             if (it == live.end())
                 break;
             const auto first_dead = static_cast<std::uint32_t>(
-                blocksCovering(op.length));
+                blocksCovering(col.length[i]));
             auto bit = it->second.lower_bound(first_dead);
             while (bit != it->second.end()) {
-                times_[{op.file, *bit}].push_back(op.time);
+                times_[{file, *bit}].push_back(time);
                 bit = it->second.erase(bit);
             }
             break;
@@ -52,21 +56,20 @@ NextModifyIndex::NextModifyIndex(const prep::OpStream &ops)
 
     // Ops are time-sorted, so each vector is already sorted; fix any
     // inversions cheaply to stay robust to unsorted input.
-    for (auto &[id, vec] : times_) {
+    times_.forEach([](const cache::BlockId &, std::vector<TimeUs> &vec) {
         if (!std::is_sorted(vec.begin(), vec.end()))
             std::sort(vec.begin(), vec.end());
-    }
+    });
 }
 
 TimeUs
 NextModifyIndex::nextModify(const cache::BlockId &id, TimeUs after) const
 {
-    auto it = times_.find(id);
-    if (it == times_.end())
+    const std::vector<TimeUs> *vec = times_.find(id);
+    if (vec == nullptr)
         return kTimeInfinity;
-    const auto &vec = it->second;
-    auto pos = std::upper_bound(vec.begin(), vec.end(), after);
-    return pos == vec.end() ? kTimeInfinity : *pos;
+    auto pos = std::upper_bound(vec->begin(), vec->end(), after);
+    return pos == vec->end() ? kTimeInfinity : *pos;
 }
 
 } // namespace nvfs::core

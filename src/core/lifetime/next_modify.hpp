@@ -12,11 +12,11 @@
 
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "cache/policy.hpp"
 #include "prep/ops.hpp"
+#include "util/flat_map.hpp"
 
 namespace nvfs::core {
 
@@ -35,8 +35,8 @@ class NextModifyIndex : public cache::NextModifyOracle
     std::size_t blockCount() const { return times_.size(); }
 
   private:
-    std::unordered_map<cache::BlockId, std::vector<TimeUs>,
-                       cache::BlockIdHash> times_;
+    util::FlatMap<cache::BlockId, std::vector<TimeUs>,
+                  cache::BlockIdHash> times_;
 };
 
 } // namespace nvfs::core

@@ -1,12 +1,17 @@
 #include "core/sim/experiments.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <tuple>
 
 #include "prep/converter.hpp"
+#include "prep/op_cache.hpp"
+#include "trace/codec.hpp"
 #include "trace/validate.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -20,53 +25,87 @@ namespace {
 using TraceKey = std::tuple<int, double, bool>;
 
 /**
- * One mutex per memoized cache.  Each accessor holds its cache's
- * mutex for the whole call (including first-touch generation) so a
- * concurrent SweepRunner task either finds the entry or waits for the
- * thread generating it; the unique_ptr values keep returned
- * references stable across later insertions.  standardLifetimes and
- * standardOracle call standardOps while holding their own mutex; the
- * lock order (lifetime/oracle -> trace) is acyclic.
+ * Bump when the generator, converter, or standard-seed formula
+ * changes behaviour: it feeds the trace-cache fingerprint, so a bump
+ * invalidates every cache file built by older code.
  */
-std::mutex traceMutex;
-std::mutex lifetimeMutex;
-std::mutex oracleMutex;
+constexpr std::uint32_t kTraceGenSchema = 1;
 
-std::map<TraceKey, std::unique_ptr<prep::OpStream>> &
+/**
+ * Per-key memoization with per-key generation.  The first caller of a
+ * key becomes its builder and runs build() *outside* the map lock;
+ * concurrent callers of the same key block on that key's future while
+ * callers of different keys build in parallel.  This replaces the
+ * PR-1 scheme of one mutex held across the whole generate+validate+
+ * convert call, which serialized all sweep workers on first touch.
+ * Values are shared_ptrs pinned by the future map, so returned
+ * references stay valid for the process lifetime.
+ */
+template <typename Key, typename Value>
+class OnceMap
+{
+  public:
+    template <typename Build>
+    const Value &
+    get(const Key &key, Build &&build)
+    {
+        std::promise<std::shared_ptr<const Value>> promise;
+        std::shared_future<std::shared_ptr<const Value>> future;
+        bool builder = false;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            auto it = futures_.find(key);
+            if (it == futures_.end()) {
+                it = futures_
+                         .emplace(key, promise.get_future().share())
+                         .first;
+                builder = true;
+            }
+            future = it->second;
+        }
+        if (builder) {
+            try {
+                promise.set_value(
+                    std::make_shared<const Value>(build()));
+            } catch (...) {
+                promise.set_exception(std::current_exception());
+                throw;
+            }
+        }
+        return *future.get();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::map<Key, std::shared_future<std::shared_ptr<const Value>>>
+        futures_;
+};
+
+OnceMap<TraceKey, prep::OpStream> &
 traceCache()
 {
-    static std::map<TraceKey, std::unique_ptr<prep::OpStream>> cache;
+    static OnceMap<TraceKey, prep::OpStream> cache;
     return cache;
 }
 
-std::map<std::pair<int, double>, std::unique_ptr<LifetimeResult>> &
+OnceMap<std::pair<int, double>, LifetimeResult> &
 lifetimeCache()
 {
-    static std::map<std::pair<int, double>,
-                    std::unique_ptr<LifetimeResult>> cache;
+    static OnceMap<std::pair<int, double>, LifetimeResult> cache;
     return cache;
 }
 
-std::map<std::pair<int, double>, std::unique_ptr<NextModifyIndex>> &
+OnceMap<std::pair<int, double>, NextModifyIndex> &
 oracleCache()
 {
-    static std::map<std::pair<int, double>,
-                    std::unique_ptr<NextModifyIndex>> cache;
+    static OnceMap<std::pair<int, double>, NextModifyIndex> cache;
     return cache;
 }
 
-} // namespace
-
-const prep::OpStream &
-standardOps(int paper_number, double scale, bool sprite_compat)
+/** Generate + validate + convert (the expensive cold path). */
+prep::OpStream
+generateOps(int paper_number, double scale, bool sprite_compat)
 {
-    const TraceKey key{paper_number, scale, sprite_compat};
-    const std::lock_guard<std::mutex> lock(traceMutex);
-    auto &cache = traceCache();
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return *it->second;
-
     trace::TraceBuffer buffer = workload::generateStandardTrace(
         paper_number, scale, sprite_compat);
     const auto report = trace::validateTrace(buffer);
@@ -77,11 +116,57 @@ standardOps(int paper_number, double scale, bool sprite_compat)
             paper_number, report.issues.size(),
             report.issues.front().message.c_str()));
     }
-    auto ops = std::make_unique<prep::OpStream>(
-        prep::convertTrace(buffer));
-    const auto &ref = *ops;
-    cache.emplace(key, std::move(ops));
-    return ref;
+    return prep::convertTrace(buffer);
+}
+
+/** Cache-aware build: try the persistent cache, else generate+store. */
+prep::OpStream
+buildStandardOps(int paper_number, double scale, bool sprite_compat)
+{
+    const auto dir = prep::traceCacheDir();
+    std::string path;
+    std::uint64_t fingerprint = 0;
+    if (dir) {
+        fingerprint =
+            standardOpsFingerprint(paper_number, scale, sprite_compat);
+        path = *dir + "/" +
+               prep::opsCacheFileName(
+                   static_cast<std::uint16_t>(paper_number - 1),
+                   fingerprint);
+        if (auto cached = prep::loadCachedOps(path, fingerprint))
+            return std::move(*cached);
+    }
+    prep::OpStream ops =
+        generateOps(paper_number, scale, sprite_compat);
+    if (dir)
+        prep::storeCachedOps(path, ops, fingerprint);
+    return ops;
+}
+
+} // namespace
+
+std::uint64_t
+standardOpsFingerprint(int paper_number, double scale,
+                       bool sprite_compat)
+{
+    const workload::TraceProfile profile =
+        workload::standardProfile(paper_number, scale);
+    std::string fp = workload::profileFingerprint(profile);
+    fp += util::format("|paper=%d|compat=%d|schema=%u|codec=%u",
+                       paper_number, sprite_compat ? 1 : 0,
+                       kTraceGenSchema,
+                       static_cast<unsigned>(prep::kOpsCacheVersion));
+    return trace::fnv1a(fp.data(), fp.size());
+}
+
+const prep::OpStream &
+standardOps(int paper_number, double scale, bool sprite_compat)
+{
+    return traceCache().get(
+        TraceKey{paper_number, scale, sprite_compat}, [&] {
+            return buildStandardOps(paper_number, scale,
+                                    sprite_compat);
+        });
 }
 
 prep::OpStream
@@ -98,33 +183,19 @@ opsWithSeed(int paper_number, double scale, std::uint64_t seed)
 const LifetimeResult &
 standardLifetimes(int paper_number, double scale)
 {
-    const std::pair<int, double> key{paper_number, scale};
-    const std::lock_guard<std::mutex> lock(lifetimeMutex);
-    auto &cache = lifetimeCache();
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return *it->second;
-    auto result = std::make_unique<LifetimeResult>(
-        analyzeLifetimes(standardOps(paper_number, scale)));
-    const auto &ref = *result;
-    cache.emplace(key, std::move(result));
-    return ref;
+    return lifetimeCache().get(
+        std::pair<int, double>{paper_number, scale}, [&] {
+            return analyzeLifetimes(standardOps(paper_number, scale));
+        });
 }
 
 const NextModifyIndex &
 standardOracle(int paper_number, double scale)
 {
-    const std::pair<int, double> key{paper_number, scale};
-    const std::lock_guard<std::mutex> lock(oracleMutex);
-    auto &cache = oracleCache();
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return *it->second;
-    auto index = std::make_unique<NextModifyIndex>(
-        standardOps(paper_number, scale));
-    const auto &ref = *index;
-    cache.emplace(key, std::move(index));
-    return ref;
+    return oracleCache().get(
+        std::pair<int, double>{paper_number, scale}, [&] {
+            return NextModifyIndex(standardOps(paper_number, scale));
+        });
 }
 
 Metrics
@@ -219,12 +290,21 @@ runEndToEnd(const prep::OpStream &ops, const ModelConfig &model,
 double
 benchScale()
 {
-    if (const char *env = std::getenv("NVFS_SCALE")) {
-        const double scale = std::atof(env);
-        if (scale > 0.0)
-            return scale;
+    const char *env = std::getenv("NVFS_SCALE");
+    if (env == nullptr)
+        return 1.0;
+    char *end = nullptr;
+    errno = 0;
+    const double scale = std::strtod(env, &end);
+    if (errno != 0 || end == env || *end != '\0' ||
+        !std::isfinite(scale) || scale <= 0.0) {
+        util::warn(util::format(
+            "NVFS_SCALE='%s' is not a valid scale; using 1.0 "
+            "(accepted: a finite real > 0, typically 0.01-1.0)",
+            env));
+        return 1.0;
     }
-    return 1.0;
+    return scale;
 }
 
 } // namespace nvfs::core

@@ -4,9 +4,19 @@
  * integration tests: generate a standard trace, preprocess it, run the
  * lifetime pass or a cluster simulation, and run the server-side LFS
  * study.  Generated traces are memoized per (trace, scale, dialect) so
- * parameter sweeps don't regenerate them.  The memoized accessors are
- * thread-safe (mutex-guarded with stable references), so SweepRunner
- * tasks may call them concurrently.
+ * parameter sweeps don't regenerate them.  Memoization is per-key:
+ * the first caller of a key builds it while callers of other keys
+ * build concurrently, so SweepRunner tasks never serialize on an
+ * unrelated trace's generation.  References stay valid for the
+ * process lifetime.
+ *
+ * When the NVFS_TRACE_CACHE environment variable names a directory,
+ * standardOps() additionally persists each processed trace there (see
+ * prep/op_cache.hpp) and later processes mmap it back instead of
+ * regenerating — a large speedup for bench/CI runs that replay the
+ * same traces.  Cache files are validated by checksum, format
+ * version, and a profile fingerprint hash, so stale or corrupt
+ * entries fall back to regeneration.
  */
 
 #pragma once
@@ -28,6 +38,16 @@ namespace nvfs::core {
  */
 const prep::OpStream &standardOps(int paper_number, double scale = 1.0,
                                   bool sprite_compat = false);
+
+/**
+ * The fingerprint hash standardOps() uses to key its persistent cache
+ * entry for these parameters: FNV-1a over the profile fingerprint
+ * plus the generator dialect and schema versions.  Exposed so tests
+ * can plant or corrupt cache files at the exact path standardOps()
+ * will probe.
+ */
+std::uint64_t standardOpsFingerprint(int paper_number, double scale,
+                                     bool sprite_compat = false);
 
 /**
  * Non-memoized variant with an explicit generator seed, for
@@ -65,7 +85,11 @@ ServerRunResult runServerSim(TimeUs duration, double scale,
                              Bytes nvram_buffer_bytes,
                              std::uint64_t seed = 7);
 
-/** Default scale for benches; override with NVFS_SCALE env var. */
+/**
+ * Default scale for benches; override with the NVFS_SCALE env var.
+ * Accepted values are finite reals > 0 (typically 0.01-1.0); anything
+ * else warns via util::log and falls back to 1.0.
+ */
 double benchScale();
 
 /** Result of composing both halves of the paper. */

@@ -1,0 +1,274 @@
+#include "prep/op_cache.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "trace/codec.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace nvfs::prep {
+
+namespace {
+
+using trace::fnv1a;
+using trace::getLE;
+using trace::putLE;
+
+/** Append one column as packed little-endian elements. */
+template <typename T>
+void
+encodeColumn(std::vector<std::uint8_t> &out, const std::vector<T> &col)
+{
+    if (col.empty())
+        return;
+    const std::size_t at = out.size();
+    out.resize(at + col.size() * sizeof(T));
+    if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(out.data() + at, col.data(),
+                    col.size() * sizeof(T));
+    } else {
+        std::uint8_t *cursor = out.data() + at;
+        for (const T &value : col)
+            putLE(cursor, value);
+    }
+}
+
+/** Read one column of `n` packed little-endian elements. */
+template <typename T>
+void
+decodeColumn(const std::uint8_t *&cursor, std::vector<T> &col,
+             std::size_t n)
+{
+    col.resize(n);
+    if (n == 0)
+        return;
+    if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(col.data(), cursor, n * sizeof(T));
+        cursor += n * sizeof(T);
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            col[i] = getLE<T>(cursor);
+    }
+}
+
+/** enum column specialisations go through the underlying byte. */
+void
+encodeColumn(std::vector<std::uint8_t> &out,
+             const std::vector<OpType> &col)
+{
+    if (col.empty())
+        return;
+    const std::size_t at = out.size();
+    out.resize(at + col.size());
+    std::memcpy(out.data() + at, col.data(), col.size());
+}
+
+void
+decodeColumn(const std::uint8_t *&cursor, std::vector<OpType> &col,
+             std::size_t n)
+{
+    col.resize(n);
+    if (n == 0)
+        return;
+    std::memcpy(col.data(), cursor, n);
+    cursor += n;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeOpsCache(const OpStream &stream, std::uint64_t profile_hash)
+{
+    const OpColumns &col = stream.ops;
+    std::vector<std::uint8_t> out;
+    out.reserve(kOpsCacheHeaderSize +
+                col.size() * kOpsCacheBytesPerOp);
+    out.resize(kOpsCacheHeaderSize, 0);
+
+    encodeColumn(out, col.time);
+    encodeColumn(out, col.offset);
+    encodeColumn(out, col.length);
+    encodeColumn(out, col.file);
+    encodeColumn(out, col.pid);
+    encodeColumn(out, col.client);
+    encodeColumn(out, col.targetClient);
+    encodeColumn(out, col.type);
+    encodeColumn(out, col.openFlags);
+
+    const std::uint64_t checksum =
+        fnv1a(out.data() + kOpsCacheHeaderSize,
+              out.size() - kOpsCacheHeaderSize);
+
+    std::uint8_t *cursor = out.data();
+    putLE(cursor, kOpsCacheMagic);
+    putLE(cursor, kOpsCacheVersion);
+    putLE(cursor, stream.traceIndex);
+    putLE(cursor, stream.clientCount);
+    putLE(cursor, std::uint32_t{0}); // pad
+    putLE(cursor, static_cast<std::uint64_t>(stream.duration));
+    putLE(cursor, static_cast<std::uint64_t>(col.size()));
+    putLE(cursor, profile_hash);
+    putLE(cursor, checksum);
+    return out;
+}
+
+std::optional<OpStream>
+decodeOpsCache(const std::uint8_t *data, std::size_t size,
+               std::uint64_t expected_hash)
+{
+    if (size < kOpsCacheHeaderSize)
+        return std::nullopt; // truncated header
+    const std::uint8_t *cursor = data;
+    if (getLE<std::uint32_t>(cursor) != kOpsCacheMagic)
+        return std::nullopt; // not a cache file
+    if (getLE<std::uint16_t>(cursor) != kOpsCacheVersion)
+        return std::nullopt; // stale/foreign format version
+    OpStream stream;
+    stream.traceIndex = getLE<std::uint16_t>(cursor);
+    stream.clientCount = getLE<std::uint32_t>(cursor);
+    (void)getLE<std::uint32_t>(cursor); // pad
+    stream.duration =
+        static_cast<TimeUs>(getLE<std::uint64_t>(cursor));
+    const std::uint64_t op_count = getLE<std::uint64_t>(cursor);
+    const std::uint64_t profile_hash = getLE<std::uint64_t>(cursor);
+    const std::uint64_t checksum = getLE<std::uint64_t>(cursor);
+
+    if (profile_hash != expected_hash)
+        return std::nullopt; // generated under different parameters
+    // Size arithmetic before any multiply can overflow.
+    if (op_count > (size - kOpsCacheHeaderSize) / kOpsCacheBytesPerOp)
+        return std::nullopt; // truncated payload
+    if (kOpsCacheHeaderSize + op_count * kOpsCacheBytesPerOp != size)
+        return std::nullopt; // trailing garbage or short file
+    if (fnv1a(data + kOpsCacheHeaderSize,
+              size - kOpsCacheHeaderSize) != checksum)
+        return std::nullopt; // corrupted payload
+
+    const auto n = static_cast<std::size_t>(op_count);
+    OpColumns &col = stream.ops;
+    cursor = data + kOpsCacheHeaderSize;
+    decodeColumn(cursor, col.time, n);
+    decodeColumn(cursor, col.offset, n);
+    decodeColumn(cursor, col.length, n);
+    decodeColumn(cursor, col.file, n);
+    decodeColumn(cursor, col.pid, n);
+    decodeColumn(cursor, col.client, n);
+    decodeColumn(cursor, col.targetClient, n);
+    decodeColumn(cursor, col.type, n);
+    decodeColumn(cursor, col.openFlags, n);
+
+    // Semantic sanity: the replay loop assumes these invariants, so a
+    // file that checksums clean but violates them is still rejected.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (col.type[i] > OpType::End)
+            return std::nullopt;
+        if ((col.openFlags[i] & ~(kOpenForWrite | kOpenForRead)) != 0)
+            return std::nullopt;
+        if (i > 0 && col.time[i] < col.time[i - 1])
+            return std::nullopt;
+    }
+    return stream;
+}
+
+std::optional<std::string>
+traceCacheDir()
+{
+    const char *env = std::getenv("NVFS_TRACE_CACHE");
+    if (env == nullptr || *env == '\0')
+        return std::nullopt;
+    return std::string(env);
+}
+
+std::string
+opsCacheFileName(std::uint16_t trace_index, std::uint64_t profile_hash)
+{
+    return util::format("ops-v%u-t%u-%016llx.nvfsops",
+                        static_cast<unsigned>(kOpsCacheVersion),
+                        static_cast<unsigned>(trace_index),
+                        static_cast<unsigned long long>(profile_hash));
+}
+
+std::optional<OpStream>
+loadCachedOps(const std::string &path, std::uint64_t expected_hash)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return std::nullopt; // cache miss (or unreadable — same thing)
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return std::nullopt;
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+        ::close(fd);
+        util::warn("trace cache: empty file " + path +
+                   "; regenerating");
+        return std::nullopt;
+    }
+    void *map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED)
+        return std::nullopt;
+    auto stream = decodeOpsCache(
+        static_cast<const std::uint8_t *>(map), size, expected_hash);
+    ::munmap(map, size);
+    if (!stream) {
+        util::warn("trace cache: rejected " + path +
+                   " (corrupt, truncated, or stale); regenerating");
+    }
+    return stream;
+}
+
+bool
+storeCachedOps(const std::string &path, const OpStream &stream,
+               std::uint64_t profile_hash)
+{
+    std::error_code ec;
+    const std::filesystem::path target(path);
+    if (target.has_parent_path())
+        std::filesystem::create_directories(target.parent_path(), ec);
+
+    const std::vector<std::uint8_t> image =
+        encodeOpsCache(stream, profile_hash);
+    const std::string tmp =
+        path + util::format(".tmp.%ld", static_cast<long>(::getpid()));
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        util::warn("trace cache: cannot create " + tmp +
+                   "; caching disabled for this entry");
+        return false;
+    }
+    std::size_t written = 0;
+    while (written < image.size()) {
+        const ssize_t n = ::write(fd, image.data() + written,
+                                  image.size() - written);
+        if (n <= 0) {
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            util::warn("trace cache: short write to " + tmp);
+            return false;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    // rename() is atomic within a file system: readers see either the
+    // old file or the complete new one, never a torn write.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        util::warn("trace cache: rename to " + path + " failed");
+        return false;
+    }
+    return true;
+}
+
+} // namespace nvfs::prep

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Persistent on-disk cache of processed op streams.
+ *
+ * Generating, validating, and converting a synthetic Sprite trace
+ * dominates the cold-start time of every bench/CLI invocation, yet the
+ * result depends only on the trace profile and generator seed.  When
+ * the NVFS_TRACE_CACHE environment variable names a directory, the
+ * experiment layer stores each converted OpStream there once and
+ * mmap-reads it back on later runs, skipping generation entirely.
+ *
+ * Format (version 1, all fields little-endian):
+ *   [64-byte header] magic, version, trace index, client count,
+ *                    duration, op count, profile hash, payload checksum
+ *   [payload]        the nine OpColumns arrays back to back, each as a
+ *                    packed little-endian element array
+ *
+ * The profile hash fingerprints every input that shapes the stream
+ * (profile parameters, generator seed, dialect, schema version); the
+ * checksum (FNV-1a over the payload) catches torn or corrupted files.
+ * A cache file is never trusted: any mismatch — magic, version, size
+ * arithmetic, hash, checksum, or a malformed column value — makes the
+ * loader return nullopt and the caller fall back to regeneration.
+ * Stores write a temp file and atomically rename() it into place, so
+ * concurrent processes can share one cache directory.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "prep/ops.hpp"
+
+namespace nvfs::prep {
+
+/** Magic bytes of an op-stream cache file ("NVOC"). */
+inline constexpr std::uint32_t kOpsCacheMagic = 0x4e564f43;
+
+/** Current op-stream cache format version. */
+inline constexpr std::uint16_t kOpsCacheVersion = 1;
+
+/** Size of the fixed header. */
+inline constexpr std::size_t kOpsCacheHeaderSize = 64;
+
+/** Payload bytes per op (the nine packed columns). */
+inline constexpr std::size_t kOpsCacheBytesPerOp =
+    8 + 8 + 8 + 4 + 4 + 2 + 2 + 1 + 1;
+
+/** Serialize a stream (plus its profile hash) into a file image. */
+std::vector<std::uint8_t> encodeOpsCache(const OpStream &stream,
+                                         std::uint64_t profile_hash);
+
+/**
+ * Parse and fully validate a file image.  Returns nullopt — never a
+ * partially-filled stream — when anything about the image is off:
+ * wrong magic or version, inconsistent sizes, profile-hash mismatch,
+ * checksum mismatch, or malformed column values.
+ */
+std::optional<OpStream> decodeOpsCache(const std::uint8_t *data,
+                                       std::size_t size,
+                                       std::uint64_t expected_hash);
+
+/**
+ * The trace-cache directory from NVFS_TRACE_CACHE; nullopt when the
+ * variable is unset or empty (caching disabled).
+ */
+std::optional<std::string> traceCacheDir();
+
+/** File name (within the cache dir) for one cached stream. */
+std::string opsCacheFileName(std::uint16_t trace_index,
+                             std::uint64_t profile_hash);
+
+/**
+ * mmap `path` and decode it.  Returns nullopt when the file is
+ * missing; warns and returns nullopt when it exists but fails
+ * validation (the caller regenerates and overwrites it).
+ */
+std::optional<OpStream> loadCachedOps(const std::string &path,
+                                      std::uint64_t expected_hash);
+
+/**
+ * Write the stream to `path` via a temp file and atomic rename.
+ * Best-effort: returns false (after warning) on I/O failure — a
+ * missing cache entry only costs regeneration next run.
+ */
+bool storeCachedOps(const std::string &path, const OpStream &stream,
+                    std::uint64_t profile_hash);
+
+} // namespace nvfs::prep

@@ -23,14 +23,16 @@ OpStreamTotals
 totals(const OpStream &stream)
 {
     OpStreamTotals t;
-    for (const Op &op : stream.ops) {
-        switch (op.type) {
+    // Column scan: only the type and length columns are touched.
+    const OpColumns &ops = stream.ops;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        switch (ops.type[i]) {
           case OpType::Read:
-            t.readBytes += op.length;
+            t.readBytes += ops.length[i];
             ++t.reads;
             break;
           case OpType::Write:
-            t.writeBytes += op.length;
+            t.writeBytes += ops.length[i];
             ++t.writes;
             break;
           case OpType::Delete:

@@ -10,30 +10,6 @@
 
 namespace nvfs::trace {
 
-namespace {
-
-template <typename T>
-void
-putLE(std::uint8_t *&cursor, T value)
-{
-    for (std::size_t i = 0; i < sizeof(T); ++i) {
-        *cursor++ = static_cast<std::uint8_t>(
-            static_cast<std::uint64_t>(value) >> (8 * i));
-    }
-}
-
-template <typename T>
-T
-getLE(const std::uint8_t *&cursor)
-{
-    std::uint64_t value = 0;
-    for (std::size_t i = 0; i < sizeof(T); ++i)
-        value |= static_cast<std::uint64_t>(*cursor++) << (8 * i);
-    return static_cast<T>(value);
-}
-
-} // namespace
-
 void
 encodeEvent(const Event &event, std::ostream &out)
 {

@@ -25,6 +25,51 @@ inline constexpr std::uint32_t kTraceMagic = 0x4e564653; // "NVFS"
 /** Current binary format version. */
 inline constexpr std::uint16_t kTraceVersion = 1;
 
+/**
+ * Little-endian field helpers shared by every nvfs binary format.
+ * The cursor advances past the encoded/decoded field.
+ */
+template <typename T>
+inline void
+putLE(std::uint8_t *&cursor, T value)
+{
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        *cursor++ = static_cast<std::uint8_t>(
+            static_cast<std::uint64_t>(value) >> (8 * i));
+    }
+}
+
+template <typename T>
+inline T
+getLE(const std::uint8_t *&cursor)
+{
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        value |= static_cast<std::uint64_t>(*cursor++) << (8 * i);
+    return static_cast<T>(value);
+}
+
+/**
+ * FNV-1a 64-bit checksum/hash.  Used as the payload checksum of the
+ * persistent op-stream cache and as the profile fingerprint hash; it
+ * is an integrity check against torn writes and stale parameters, not
+ * a cryptographic signature.
+ */
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+inline std::uint64_t
+fnv1a(const void *data, std::size_t bytes,
+      std::uint64_t seed = kFnvOffsetBasis)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        hash ^= p[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
 /** Metadata stored in the binary header. */
 struct TraceHeader
 {

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Persistent trace-cache tests: binary round-trip of the op-stream
+ * codec, rejection of truncated / corrupted / stale / mismatched
+ * cache files, and the standardOps() integration — a planted cache
+ * file must be served without regeneration, and a corrupt one must
+ * fall back to generation and be repaired on disk.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sim/experiments.hpp"
+#include "prep/op_cache.hpp"
+#include "prep/ops.hpp"
+
+namespace nvfs {
+namespace {
+
+/** Scoped NVFS_TRACE_CACHE setting; restores "unset" on destruction. */
+class ScopedCacheDir
+{
+  public:
+    explicit ScopedCacheDir(const std::string &dir)
+    {
+        ::setenv("NVFS_TRACE_CACHE", dir.c_str(), 1);
+    }
+    ~ScopedCacheDir() { ::unsetenv("NVFS_TRACE_CACHE"); }
+};
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** A small hand-built stream that satisfies the decode invariants. */
+prep::OpStream
+syntheticStream()
+{
+    prep::OpStream stream;
+    stream.traceIndex = 1;
+    stream.clientCount = 3;
+    stream.duration = 5000;
+    prep::Op op;
+    for (int i = 0; i < 200; ++i) {
+        op.time = i * 25;
+        op.file = static_cast<FileId>(i % 7);
+        op.offset = static_cast<Bytes>(i) * kBlockSize;
+        op.length = 100 + i;
+        op.pid = static_cast<ProcId>(i % 5);
+        op.client = static_cast<ClientId>(i % 3);
+        op.targetClient = static_cast<ClientId>((i + 1) % 3);
+        op.type = static_cast<prep::OpType>(
+            i % (static_cast<int>(prep::OpType::End) + 1));
+        op.openForWrite = i % 2 == 0;
+        op.openForRead = i % 2 != 0;
+        stream.ops.push_back(op);
+    }
+    return stream;
+}
+
+void
+expectStreamsEqual(const prep::OpStream &a, const prep::OpStream &b)
+{
+    EXPECT_EQ(a.traceIndex, b.traceIndex);
+    EXPECT_EQ(a.clientCount, b.clientCount);
+    EXPECT_EQ(a.duration, b.duration);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    EXPECT_TRUE(a.ops == b.ops);
+}
+
+TEST(TraceCacheCodecTest, RoundTrip)
+{
+    const prep::OpStream stream = syntheticStream();
+    const auto image = prep::encodeOpsCache(stream, 0xDEADBEEFu);
+    EXPECT_EQ(image.size(), prep::kOpsCacheHeaderSize +
+                                stream.ops.size() *
+                                    prep::kOpsCacheBytesPerOp);
+    const auto decoded =
+        prep::decodeOpsCache(image.data(), image.size(), 0xDEADBEEFu);
+    ASSERT_TRUE(decoded.has_value());
+    expectStreamsEqual(*decoded, stream);
+}
+
+TEST(TraceCacheCodecTest, RoundTripEmptyStream)
+{
+    prep::OpStream stream;
+    stream.traceIndex = 4;
+    stream.clientCount = 1;
+    stream.duration = 0;
+    const auto image = prep::encodeOpsCache(stream, 1);
+    const auto decoded =
+        prep::decodeOpsCache(image.data(), image.size(), 1);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->ops.empty());
+    EXPECT_EQ(decoded->traceIndex, 4);
+}
+
+TEST(TraceCacheCodecTest, RejectsTruncated)
+{
+    const auto image =
+        prep::encodeOpsCache(syntheticStream(), 0xDEADBEEFu);
+    // Every strictly shorter prefix must be rejected, including ones
+    // shorter than the header itself.
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{7},
+          prep::kOpsCacheHeaderSize - 1, prep::kOpsCacheHeaderSize,
+          image.size() - 1, image.size() - 38}) {
+        EXPECT_FALSE(
+            prep::decodeOpsCache(image.data(), keep, 0xDEADBEEFu)
+                .has_value())
+            << "accepted truncation to " << keep << " bytes";
+    }
+}
+
+TEST(TraceCacheCodecTest, RejectsCorruptedPayload)
+{
+    auto image = prep::encodeOpsCache(syntheticStream(), 0xDEADBEEFu);
+    image[prep::kOpsCacheHeaderSize + 11] ^= 0x40;
+    EXPECT_FALSE(
+        prep::decodeOpsCache(image.data(), image.size(), 0xDEADBEEFu)
+            .has_value());
+}
+
+TEST(TraceCacheCodecTest, RejectsStaleVersion)
+{
+    auto image = prep::encodeOpsCache(syntheticStream(), 0xDEADBEEFu);
+    image[4] = static_cast<std::uint8_t>(prep::kOpsCacheVersion + 1);
+    EXPECT_FALSE(
+        prep::decodeOpsCache(image.data(), image.size(), 0xDEADBEEFu)
+            .has_value());
+}
+
+TEST(TraceCacheCodecTest, RejectsWrongMagic)
+{
+    auto image = prep::encodeOpsCache(syntheticStream(), 0xDEADBEEFu);
+    image[0] ^= 0xFF;
+    EXPECT_FALSE(
+        prep::decodeOpsCache(image.data(), image.size(), 0xDEADBEEFu)
+            .has_value());
+}
+
+TEST(TraceCacheCodecTest, RejectsProfileHashMismatch)
+{
+    const auto image =
+        prep::encodeOpsCache(syntheticStream(), 0xDEADBEEFu);
+    EXPECT_FALSE(
+        prep::decodeOpsCache(image.data(), image.size(), 0xDEADBEEEu)
+            .has_value())
+        << "a cache built under different profile parameters must "
+           "not be served";
+}
+
+TEST(TraceCacheCodecTest, RejectsNonMonotonicTime)
+{
+    prep::OpStream stream = syntheticStream();
+    stream.ops.time[50] = stream.ops.time[49] - 1;
+    const auto image = prep::encodeOpsCache(stream, 2);
+    EXPECT_FALSE(prep::decodeOpsCache(image.data(), image.size(), 2)
+                     .has_value());
+}
+
+TEST(TraceCacheFileTest, StoreThenLoad)
+{
+    const std::string dir = freshDir("nvfs_cache_store");
+    const std::string path = dir + "/roundtrip.nvfsops";
+    const prep::OpStream stream = syntheticStream();
+    ASSERT_TRUE(prep::storeCachedOps(path, stream, 99));
+    const auto loaded = prep::loadCachedOps(path, 99);
+    ASSERT_TRUE(loaded.has_value());
+    expectStreamsEqual(*loaded, stream);
+}
+
+TEST(TraceCacheFileTest, LoadMissingFileIsQuietMiss)
+{
+    EXPECT_FALSE(
+        prep::loadCachedOps(testing::TempDir() + "no_such.nvfsops", 1)
+            .has_value());
+}
+
+TEST(TraceCacheFileTest, LoadRejectsGarbageFile)
+{
+    const std::string dir = freshDir("nvfs_cache_garbage");
+    const std::string path = dir + "/garbage.nvfsops";
+    std::ofstream(path) << "this is not a cache file at all";
+    EXPECT_FALSE(prep::loadCachedOps(path, 1).has_value());
+}
+
+TEST(TraceCacheFileTest, StoreCreatesDirectory)
+{
+    const std::string dir = freshDir("nvfs_cache_mkdir");
+    const std::string path = dir + "/nested/deeper/file.nvfsops";
+    ASSERT_TRUE(prep::storeCachedOps(path, syntheticStream(), 5));
+    EXPECT_TRUE(prep::loadCachedOps(path, 5).has_value());
+}
+
+TEST(TraceCacheFileTest, FileNameEncodesVersionTraceAndHash)
+{
+    EXPECT_EQ(prep::opsCacheFileName(6, 0x2CF46C3C86F53F28ull),
+              "ops-v1-t6-2cf46c3c86f53f28.nvfsops");
+}
+
+// --- standardOps() integration -----------------------------------
+//
+// Each test below uses a scale value no other test (or bench) uses,
+// because standardOps() memoizes per (paper, scale, dialect) for the
+// process lifetime: a reused key would be served from memory and
+// never touch the on-disk cache under test.
+
+TEST(TraceCacheIntegrationTest, PlantedCacheFileSkipsGeneration)
+{
+    const int paper = 2;
+    const double scale = 0.013;
+    const std::string dir = freshDir("nvfs_cache_planted");
+
+    // Plant a synthetic stream at the exact path standardOps() will
+    // probe.  Generation would produce a very different stream, so
+    // getting the synthetic one back proves the generator was
+    // bypassed.
+    const std::uint64_t hash =
+        core::standardOpsFingerprint(paper, scale);
+    const prep::OpStream planted = syntheticStream();
+    ASSERT_TRUE(prep::storeCachedOps(
+        dir + "/" + prep::opsCacheFileName(paper - 1, hash), planted,
+        hash));
+
+    const ScopedCacheDir env(dir);
+    const prep::OpStream &served = core::standardOps(paper, scale);
+    expectStreamsEqual(served, planted);
+}
+
+TEST(TraceCacheIntegrationTest, CorruptCacheFallsBackToGeneration)
+{
+    const int paper = 2;
+    const double scale = 0.017;
+    const std::string dir = freshDir("nvfs_cache_corrupt");
+    const std::uint64_t hash =
+        core::standardOpsFingerprint(paper, scale);
+    const std::string path =
+        dir + "/" + prep::opsCacheFileName(paper - 1, hash);
+
+    // A corrupt file at the expected path: valid image with payload
+    // damage, so every validation layer before the checksum passes.
+    auto image = prep::encodeOpsCache(syntheticStream(), hash);
+    image[prep::kOpsCacheHeaderSize + 3] ^= 0x01;
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(reinterpret_cast<const char *>(image.data()),
+                  static_cast<std::streamsize>(image.size()));
+    }
+
+    const ScopedCacheDir env(dir);
+    const prep::OpStream &served = core::standardOps(paper, scale);
+    // Fallback generated a real trace, not the 200-op synthetic one.
+    EXPECT_GT(served.ops.size(), 1000u);
+    EXPECT_EQ(served.traceIndex, paper - 1);
+
+    // And the bad file was replaced by a valid cache of the result.
+    const auto repaired = prep::loadCachedOps(path, hash);
+    ASSERT_TRUE(repaired.has_value());
+    expectStreamsEqual(*repaired, served);
+}
+
+TEST(TraceCacheIntegrationTest, GenerationPopulatesCacheFile)
+{
+    const int paper = 2;
+    const double scale = 0.019;
+    const std::string dir = freshDir("nvfs_cache_populate");
+    const ScopedCacheDir env(dir);
+
+    const prep::OpStream &generated = core::standardOps(paper, scale);
+    const std::uint64_t hash =
+        core::standardOpsFingerprint(paper, scale);
+    const auto cached = prep::loadCachedOps(
+        dir + "/" + prep::opsCacheFileName(paper - 1, hash), hash);
+    ASSERT_TRUE(cached.has_value())
+        << "standardOps() must persist what it generated";
+    expectStreamsEqual(*cached, generated);
+}
+
+TEST(TraceCacheIntegrationTest, FingerprintSeparatesParameters)
+{
+    const std::uint64_t base = core::standardOpsFingerprint(2, 0.013);
+    EXPECT_NE(base, core::standardOpsFingerprint(3, 0.013));
+    EXPECT_NE(base, core::standardOpsFingerprint(2, 0.014));
+    EXPECT_NE(base, core::standardOpsFingerprint(2, 0.013, true));
+}
+
+} // namespace
+} // namespace nvfs
