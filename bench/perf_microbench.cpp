@@ -118,6 +118,43 @@ BM_ClientSimTrace7(benchmark::State &state)
 BENCHMARK(BM_ClientSimTrace7);
 
 void
+BM_ClusterSimReplay(benchmark::State &state)
+{
+    // End-to-end replay macrobenchmark: one whole trace through the
+    // cluster simulator per iteration, per model, with the engine as
+    // the last argument (0 = legacy per-block, 1 = extent).  The
+    // extent/legacy pairs feed BENCH_e2e.json's speedup table.
+    const auto trace = static_cast<int>(state.range(0));
+    const auto kind = static_cast<core::ModelKind>(state.range(1));
+    const bool extent = state.range(2) != 0;
+    const auto &ops = core::standardOps(trace, core::benchScale());
+    for (auto _ : state) {
+        core::ModelConfig model;
+        model.kind = kind;
+        model.volatileBytes = 8 * kMiB;
+        model.nvramBytes = kMiB;
+        model.extentOps = extent;
+        const auto metrics = core::runClientSim(ops, model);
+        benchmark::DoNotOptimize(metrics.appWriteBytes);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(ops.ops.size()));
+}
+BENCHMARK(BM_ClusterSimReplay)
+    ->ArgNames({"trace", "model", "engine"})
+    ->Args({3, 0, 0})->Args({3, 0, 1})
+    ->Args({3, 1, 0})->Args({3, 1, 1})
+    ->Args({3, 2, 0})->Args({3, 2, 1})
+    ->Args({4, 0, 0})->Args({4, 0, 1})
+    ->Args({4, 1, 0})->Args({4, 1, 1})
+    ->Args({4, 2, 0})->Args({4, 2, 1})
+    ->Args({7, 0, 0})->Args({7, 0, 1})
+    ->Args({7, 1, 0})->Args({7, 1, 1})
+    ->Args({7, 2, 0})->Args({7, 2, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_FlatMapLookup(benchmark::State &state)
 {
     // Mixed hit/miss point lookups against a loaded table — the

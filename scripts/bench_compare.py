@@ -1,32 +1,45 @@
 #!/usr/bin/env python3
-"""Run the perf microbenchmarks and emit BENCH_microbench.json.
+"""Run the perf benchmarks and emit BENCH_microbench.json + BENCH_e2e.json.
 
-Runs ``perf_microbench`` with google-benchmark's JSON reporter,
-normalizes the result into a compact {benchmark: {real_time_ns, ...}}
-summary, and writes it to BENCH_microbench.json so CI can archive a
-perf snapshot per commit.  With ``--baseline previous.json`` it also
+Runs ``perf_microbench`` with google-benchmark's JSON reporter and
+normalizes the result into compact {benchmark: {real_time_ns, ...}}
+summaries.  The BM_ClusterSimReplay macrobenchmarks (whole-trace
+simulations) go to BENCH_e2e.json, which additionally pairs each
+extent-engine run with its legacy-engine twin and records the speedup
+ratio; everything else goes to BENCH_microbench.json so CI can archive
+a perf snapshot per commit.  With ``--baseline previous.json`` it also
 prints a per-benchmark comparison and (with ``--max-regression``)
-fails when any benchmark slowed down beyond the allowed ratio.
+fails when any microbenchmark slowed down beyond the allowed ratio.
 
 Usage:
     bench_compare.py --bench build/bench/perf_microbench \
         [--output BENCH_microbench.json] \
+        [--e2e-output BENCH_e2e.json] \
         [--baseline old.json] [--max-regression 1.30] \
-        [--filter REGEX] [--min-time SECONDS]
+        [--filter REGEX] [--min-time SECONDS] [--repetitions N]
 """
 
 import argparse
 import json
+import re
 import subprocess
 import sys
 
+E2E_PREFIX = "BM_ClusterSimReplay"
+E2E_NAME = re.compile(
+    r"^BM_ClusterSimReplay/trace:(\d+)/model:(\d+)/engine:(\d+)$")
+MODEL_NAMES = {0: "volatile", 1: "write-aside", 2: "unified"}
 
-def run_benchmarks(bench, bench_filter, min_time):
+
+def run_benchmarks(bench, bench_filter, min_time, repetitions):
     cmd = [
         bench,
         "--benchmark_format=json",
         f"--benchmark_min_time={min_time}",
     ]
+    if repetitions > 1:
+        cmd.append(f"--benchmark_repetitions={repetitions}")
+        cmd.append("--benchmark_report_aggregates_only=true")
     if bench_filter:
         cmd.append(f"--benchmark_filter={bench_filter}")
     proc = subprocess.run(cmd, capture_output=True, text=True)
@@ -36,21 +49,61 @@ def run_benchmarks(bench, bench_filter, min_time):
     return json.loads(proc.stdout)
 
 
-def summarize(raw):
+def summarize(raw, keep):
     """Flatten the google-benchmark report to one entry per benchmark."""
     out = {"context": raw.get("context", {}), "benchmarks": {}}
     for bench in raw.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
+            # With --repetitions the report carries one aggregate row
+            # per statistic; keep the median as the noise-robust
+            # per-benchmark summary (keyed by the plain run name).
+            if bench.get("aggregate_name") != "median":
+                continue
+            name = bench.get("run_name", bench["name"])
+        else:
+            name = bench["name"]
+        if not keep(name):
             continue
+        # google-benchmark reports times in the benchmark's display
+        # unit; normalize everything to nanoseconds.
+        unit = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}.get(
+            bench.get("time_unit", "ns"), 1)
         entry = {
-            "real_time_ns": bench.get("real_time"),
-            "cpu_time_ns": bench.get("cpu_time"),
+            "real_time_ns": bench.get("real_time") * unit
+            if bench.get("real_time") is not None else None,
+            "cpu_time_ns": bench.get("cpu_time") * unit
+            if bench.get("cpu_time") is not None else None,
             "iterations": bench.get("iterations"),
         }
         if "items_per_second" in bench:
             entry["items_per_second"] = bench["items_per_second"]
-        out["benchmarks"][bench["name"]] = entry
+        out["benchmarks"][name] = entry
     return out
+
+
+def add_speedups(e2e):
+    """Pair extent runs with their legacy twins and record speedups."""
+    times = {}
+    for name, entry in e2e["benchmarks"].items():
+        match = E2E_NAME.match(name)
+        if match and entry.get("real_time_ns"):
+            trace, model, engine = (int(g) for g in match.groups())
+            times[(trace, model, engine)] = entry["real_time_ns"]
+    speedups = {}
+    for (trace, model, engine), extent_time in sorted(times.items()):
+        if engine != 1:
+            continue
+        legacy_time = times.get((trace, model, 0))
+        if not legacy_time or not extent_time:
+            continue
+        key = f"trace{trace}/{MODEL_NAMES.get(model, model)}"
+        speedups[key] = {
+            "legacy_ms": legacy_time / 1e6,
+            "extent_ms": extent_time / 1e6,
+            "speedup": legacy_time / extent_time,
+        }
+    e2e["speedups"] = speedups
+    return e2e
 
 
 def compare(current, baseline, max_regression):
@@ -86,6 +139,9 @@ def main():
                         help="path to the perf_microbench binary")
     parser.add_argument("--output", default="BENCH_microbench.json",
                         help="where to write the JSON summary")
+    parser.add_argument("--e2e-output", default="BENCH_e2e.json",
+                        help="where to write the whole-trace replay "
+                             "summary (BM_ClusterSimReplay runs)")
     parser.add_argument("--baseline",
                         help="previous BENCH_microbench.json to "
                              "compare against")
@@ -97,15 +153,34 @@ def main():
                         help="--benchmark_filter regex")
     parser.add_argument("--min-time", type=float, default=0.05,
                         help="--benchmark_min_time per benchmark")
+    parser.add_argument("--repetitions", type=int, default=1,
+                        help="repeat each benchmark N times and record "
+                             "the median (robust against machine "
+                             "noise)")
     args = parser.parse_args()
 
-    raw = run_benchmarks(args.bench, args.bench_filter, args.min_time)
-    summary = summarize(raw)
+    raw = run_benchmarks(args.bench, args.bench_filter, args.min_time,
+                         args.repetitions)
+    summary = summarize(
+        raw, lambda name: not name.startswith(E2E_PREFIX))
     with open(args.output, "w") as fh:
         json.dump(summary, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.output} "
           f"({len(summary['benchmarks'])} benchmarks)")
+
+    e2e = add_speedups(
+        summarize(raw, lambda name: name.startswith(E2E_PREFIX)))
+    if e2e["benchmarks"]:
+        with open(args.e2e_output, "w") as fh:
+            json.dump(e2e, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.e2e_output} "
+              f"({len(e2e['benchmarks'])} replays)")
+        for key, entry in sorted(e2e["speedups"].items()):
+            print(f"  {key}: {entry['legacy_ms']:.1f}ms -> "
+                  f"{entry['extent_ms']:.1f}ms "
+                  f"({entry['speedup']:.2f}x)")
 
     if args.baseline:
         with open(args.baseline) as fh:

@@ -8,10 +8,14 @@
 namespace nvfs::cache {
 
 BlockCache::BlockCache(std::uint64_t capacity_blocks,
-                       std::unique_ptr<ReplacementPolicy> policy)
+                       std::unique_ptr<ReplacementPolicy> policy,
+                       bool native_lru)
     : capacity_(capacity_blocks),
-      policy_(policy ? std::move(policy) : makePolicy(PolicyKind::Lru))
+      policy_(policy ? std::move(policy) : makePolicy(PolicyKind::Lru)),
+      nativeLru_(native_lru)
 {
+    NVFS_REQUIRE(!nativeLru_ || policy_->kind() == PolicyKind::Lru,
+                 "native LRU mode requires an LRU policy");
     if (capacity_ != 0 && capacity_ < (1u << 20)) {
         // Bounded caches are hot (one per simulated client): size the
         // arena and index up front so the steady state never rehashes
@@ -52,7 +56,8 @@ BlockCache::allocEntry()
     if (freeHead_ != kNil) {
         const std::uint32_t idx = freeHead_;
         freeHead_ = arena_[idx].nextFree;
-        arena_[idx] = Entry{};
+        // freeEntry already reset the slot; only the freelist link is
+        // stale, and that is meaningless while the slot is live.
         return idx;
     }
     NVFS_REQUIRE(arena_.size() < kNil, "block cache arena exhausted");
@@ -63,9 +68,19 @@ BlockCache::allocEntry()
 void
 BlockCache::freeEntry(std::uint32_t idx)
 {
-    arena_[idx] = Entry{};
-    arena_[idx].nextFree = freeHead_;
+    // Every removal path resets the entry's list links through
+    // listRemove, and every insert path sets id and lastAccess, so
+    // only the dirty state needs clearing here.  dirty.clear() keeps
+    // the interval vector's capacity parked in the vacant slot, which
+    // spares the next occupant the reallocation.
+    Entry &entry = arena_[idx];
+    entry.block.dirty.clear();
+    entry.block.lastModify = kNoTime;
+    entry.block.dirtySince = kNoTime;
+    entry.nextFree = freeHead_;
     freeHead_ = idx;
+    if (orderedHint_ == idx)
+        orderedHint_ = kNil;
 }
 
 void
@@ -132,7 +147,7 @@ BlockCache::finishInsert(const BlockId &id, std::uint32_t idx)
 {
     NVFS_REQUIRE(index_.tryEmplace(id, idx).second,
                  "double insert of cache block");
-    listPushBack(byFile_[id.file], &Entry::file, idx);
+    extents_.insert(id.file, id.index, idx);
     return arena_[idx].block;
 }
 
@@ -148,34 +163,50 @@ BlockCache::insert(const BlockId &id, TimeUs now)
     if (cleanTracking_)
         listPushBack(cleanLru_, &Entry::clean, idx);
     CacheBlock &block = finishInsert(id, idx);
-    policy_->onInsert(id, now);
+    if (!nativeLru_)
+        policy_->onInsert(id, now);
     return block;
 }
 
 void
-BlockCache::touch(const BlockId &id, TimeUs now)
+BlockCache::touchSlot(std::uint32_t idx, TimeUs now)
 {
-    const std::uint32_t idx = slotOf(id, "touch");
     Entry &entry = arena_[idx];
     entry.block.lastAccess = now;
     listMoveToBack(lru_, &Entry::lru, idx);
     if (cleanTracking_ && !entry.block.isDirty())
         listMoveToBack(cleanLru_, &Entry::clean, idx);
-    policy_->onAccess(id, now);
+    if (!nativeLru_)
+        policy_->onAccess(entry.block.id, now);
 }
 
 void
-BlockCache::markDirty(const BlockId &id, Bytes begin, Bytes end,
-                      TimeUs now)
+BlockCache::touch(const BlockId &id, TimeUs now)
+{
+    touchSlot(slotOf(id, "touch"), now);
+}
+
+Bytes
+BlockCache::markDirtySlot(std::uint32_t idx, Bytes begin, Bytes end,
+                          TimeUs now)
 {
     NVFS_REQUIRE(end <= kBlockSize && begin < end,
                  "dirty range outside block");
-    const std::uint32_t idx = slotOf(id, "markDirty");
     Entry &entry = arena_[idx];
     CacheBlock &block = entry.block;
     const Bytes before = block.dirtyBytes();
     const bool was_dirty = block.isDirty();
-    block.dirty.insert(begin, end);
+    Bytes absorbed;
+    if (begin == 0 && end == kBlockSize) {
+        // Whole-block write: everything previously dirty is absorbed
+        // and the run set collapses to one run — O(1), no range query.
+        absorbed = before;
+        block.dirty.clear();
+        block.dirty.insert(0, kBlockSize);
+    } else {
+        absorbed = block.dirty.overlapBytes(begin, end);
+        block.dirty.insert(begin, end);
+    }
     dirtyBytes_ += block.dirtyBytes() - before;
     if (!was_dirty) {
         block.dirtySince = now;
@@ -187,7 +218,16 @@ BlockCache::markDirty(const BlockId &id, Bytes begin, Bytes end,
     block.lastModify = now;
     block.lastAccess = now;
     listMoveToBack(lru_, &Entry::lru, idx);
-    policy_->onAccess(id, now);
+    if (!nativeLru_)
+        policy_->onAccess(block.id, now);
+    return absorbed;
+}
+
+void
+BlockCache::markDirty(const BlockId &id, Bytes begin, Bytes end,
+                      TimeUs now)
+{
+    markDirtySlot(slotOf(id, "markDirty"), begin, end, now);
 }
 
 void
@@ -244,21 +284,19 @@ BlockCache::remove(const BlockId &id)
         listRemove(cleanLru_, &Entry::clean, idx);
     }
     listRemove(lru_, &Entry::lru, idx);
-    ListHead *file_list = byFile_.find(id.file);
-    if (file_list != nullptr) {
-        listRemove(*file_list, &Entry::file, idx);
-        if (file_list->head == kNil)
-            byFile_.erase(id.file);
-    }
+    extents_.remove(id.file, id.index);
     index_.erase(id);
     freeEntry(idx);
-    policy_->onRemove(id);
+    if (!nativeLru_)
+        policy_->onRemove(id);
     return out;
 }
 
 std::optional<BlockId>
 BlockCache::chooseVictim(TimeUs now)
 {
+    if (nativeLru_)
+        return lruBlock();
     return policy_->chooseVictim(now);
 }
 
@@ -319,24 +357,63 @@ BlockCache::insertOrdered(const BlockId &id, TimeUs access_time)
         return arena_[at].block.lastAccess;
     };
     std::uint32_t before = kNil; // kNil = MRU end
-    if (lru_.tail != kNil && access_time >= last_access(lru_.tail)) {
-        // Younger than everything: plain MRU insert.
-    } else if (lru_.head != kNil &&
-               access_time <= last_access(lru_.head)) {
+    if (lru_.tail == kNil ||
+        access_time >= last_access(lru_.tail)) {
+        // Empty list or younger than everything: plain MRU insert.
+    } else if (access_time <= last_access(lru_.head)) {
         before = lru_.head;
-    } else {
-        // Walk backwards from the MRU end.
-        std::uint32_t pos = lru_.tail;
-        while (pos != kNil && last_access(pos) > access_time) {
+    } else if (orderedHint_ != kNil) {
+        // The list is ascending in lastAccess, so the insert position
+        // is the unique boundary between the <= prefix and the >
+        // suffix.  NVRAM demotions arrive in ascending age order (the
+        // victims come off the NVRAM's LRU head), so the boundary for
+        // one insert sits at or just past the previous one: resume the
+        // walk from the last ordered insert instead of an end of the
+        // list.  Any resident entry is a correct starting point; the
+        // hint is cleared whenever its slot is freed.
+        std::uint32_t pos = orderedHint_;
+        if (last_access(pos) <= access_time) {
+            std::uint32_t next = arena_[pos].lru.next;
+            while (next != kNil && last_access(next) <= access_time)
+                next = arena_[next].lru.next;
+            before = next;
+        } else {
             before = pos;
-            pos = arena_[pos].lru.prev;
+            std::uint32_t prev = arena_[pos].lru.prev;
+            while (prev != kNil && last_access(prev) > access_time) {
+                before = prev;
+                prev = arena_[before].lru.prev;
+            }
+        }
+    } else {
+        // No hint yet: walk towards the boundary from both ends at
+        // once.  The guards above ensure head < access_time < tail, so
+        // the boundary is strictly interior and both walks stay in
+        // range.
+        std::uint32_t front = lru_.head; // known <= access_time
+        std::uint32_t back = lru_.tail;  // known  > access_time
+        for (;;) {
+            const std::uint32_t next = arena_[front].lru.next;
+            if (last_access(next) > access_time) {
+                before = next;
+                break;
+            }
+            front = next;
+            const std::uint32_t prev = arena_[back].lru.prev;
+            if (last_access(prev) <= access_time) {
+                before = back;
+                break;
+            }
+            back = prev;
         }
     }
     listInsertBefore(lru_, &Entry::lru, idx, before);
+    orderedHint_ = idx;
     if (cleanTracking_)
         linkClean(idx);
     CacheBlock &block = finishInsert(id, idx);
-    policy_->onInsert(id, access_time);
+    if (!nativeLru_)
+        policy_->onInsert(id, access_time);
     return block;
 }
 
@@ -356,18 +433,78 @@ BlockCache::lruAccessTime() const
     return arena_[lru_.head].block.lastAccess;
 }
 
+void
+BlockCache::insertRange(FileId file, std::uint32_t first,
+                        std::uint32_t last, TimeUs now)
+{
+    const std::uint32_t count = last - first + 1;
+    NVFS_REQUIRE(freeBlocks() >= count,
+                 "insertRange into full cache (evict first)");
+    slotScratch_.clear();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const BlockId id{file, first + i};
+        const std::uint32_t idx = allocEntry();
+        Entry &entry = arena_[idx];
+        entry.block.id = id;
+        entry.block.lastAccess = now;
+        listPushBack(lru_, &Entry::lru, idx);
+        if (cleanTracking_)
+            listPushBack(cleanLru_, &Entry::clean, idx);
+        NVFS_REQUIRE(index_.tryEmplace(id, idx).second,
+                     "insertRange over resident block");
+        slotScratch_.push_back(idx);
+        if (!nativeLru_)
+            policy_->onInsert(id, now);
+    }
+    // One splice into the per-file runs for the whole span.
+    extents_.insertRun(file, first, slotScratch_.data(), count);
+}
+
+void
+BlockCache::touchRange(FileId file, std::uint32_t first,
+                       std::uint32_t last, TimeUs now)
+{
+    extents_.forEachInRange(file, first, last,
+                            [&](std::uint32_t, std::uint32_t slot) {
+                                touchSlot(slot, now);
+                            });
+}
+
+Bytes
+BlockCache::markDirtyRange(FileId file, Bytes offset, Bytes length,
+                           TimeUs now)
+{
+    if (length == 0)
+        return 0;
+    const Bytes end = offset + length;
+    const auto first = static_cast<std::uint32_t>(offset / kBlockSize);
+    const auto last =
+        static_cast<std::uint32_t>((end - 1) / kBlockSize);
+    Bytes absorbed = 0;
+    std::uint32_t seen = 0;
+    extents_.forEachInRange(
+        file, first, last, [&](std::uint32_t block, std::uint32_t slot) {
+            const Bytes block_start = Bytes{block} * kBlockSize;
+            const Bytes in_begin =
+                offset > block_start ? offset - block_start : 0;
+            const Bytes in_end =
+                std::min<Bytes>(kBlockSize, end - block_start);
+            absorbed += markDirtySlot(slot, in_begin, in_end, now);
+            ++seen;
+        });
+    NVFS_REQUIRE(seen == last - first + 1,
+                 "markDirtyRange over non-resident blocks");
+    return absorbed;
+}
+
 std::vector<BlockId>
 BlockCache::blocksOfFile(FileId file) const
 {
     std::vector<BlockId> out;
-    const ListHead *list = byFile_.find(file);
-    if (list == nullptr)
-        return out;
-    for (std::uint32_t idx = list->head; idx != kNil;
-         idx = arena_[idx].file.next) {
-        out.push_back(arena_[idx].block.id);
-    }
-    std::sort(out.begin(), out.end());
+    extents_.forEachOfFile(file,
+                           [&](std::uint32_t block, std::uint32_t) {
+                               out.push_back(BlockId{file, block});
+                           });
     return out;
 }
 
@@ -375,10 +512,11 @@ std::vector<BlockId>
 BlockCache::dirtyBlocksOfFile(FileId file) const
 {
     std::vector<BlockId> out;
-    for (const BlockId &id : blocksOfFile(file)) {
-        if (arena_[*index_.find(id)].block.isDirty())
-            out.push_back(id);
-    }
+    extents_.forEachOfFile(
+        file, [&](std::uint32_t block, std::uint32_t slot) {
+            if (arena_[slot].block.isDirty())
+                out.push_back(BlockId{file, block});
+        });
     return out;
 }
 
@@ -416,6 +554,18 @@ BlockCache::allBlocks() const
         out.push_back(id);
     });
     std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<BlockId>
+BlockCache::lruOrder() const
+{
+    std::vector<BlockId> out;
+    out.reserve(index_.size());
+    for (std::uint32_t idx = lru_.head; idx != kNil;
+         idx = arena_[idx].lru.next) {
+        out.push_back(arena_[idx].block.id);
+    }
     return out;
 }
 

@@ -13,14 +13,25 @@
  * NVRAM runs a different policy.
  *
  * Layout: all resident blocks live in one contiguous arena indexed by
- * a flat open-addressing map, and every ordering (LRU, dirty order,
- * clean LRU, per-file membership) is an intrusive doubly-linked list
- * of 32-bit arena indices inside the entries themselves.  The per-op
- * hot path (contains/touch/markDirty) therefore does no per-node
- * allocation and no pointer chasing beyond a single map probe.
- * Pointers and references returned by insert()/peek() are invalidated
- * by a later insert (the arena may grow); use them before the next
- * mutation, as all callers do.
+ * a flat open-addressing map, and the recency/dirty/clean orderings
+ * are intrusive doubly-linked lists of 32-bit arena indices inside the
+ * entries themselves.  Per-file membership lives in an ExtentIndex:
+ * sorted (block, slot) runs that let a (file, first..last) span
+ * resolve to runs of consecutive resident blocks with one probe.  On
+ * top of that sit the range operations — insertRange / touchRange /
+ * markDirtyRange / peekRange — which walk arena slots directly
+ * instead of doing one hash probe per block.  Pointers and references
+ * returned by insert()/peek() are invalidated by a later insert (the
+ * arena may grow); use them before the next mutation, as all callers
+ * do.
+ *
+ * Native-LRU mode: when the replacement policy is LRU, the policy
+ * object's bookkeeping (its own list plus a hash probe per event)
+ * exactly mirrors the lru_ list this cache maintains anyway.  A cache
+ * constructed with native_lru skips every policy notification and
+ * serves chooseVictim() from the head of lru_.  The extent engine
+ * enables it; the legacy engine keeps the policy object driven as
+ * before so differential tests compare truly unchanged code.
  */
 
 #pragma once
@@ -30,6 +41,7 @@
 #include <vector>
 
 #include "cache/block.hpp"
+#include "cache/extent_index.hpp"
 #include "cache/policy.hpp"
 #include "util/flat_map.hpp"
 
@@ -43,9 +55,13 @@ class BlockCache
      * @param capacity_blocks maximum resident blocks (0 = unbounded,
      *        used by the infinite-cache lifetime pass)
      * @param policy victim selection; defaults to LRU
+     * @param native_lru serve victims straight from the internal LRU
+     *        list and skip policy notifications (requires an LRU
+     *        policy; behaviourally identical, much cheaper)
      */
     explicit BlockCache(std::uint64_t capacity_blocks,
-                        std::unique_ptr<ReplacementPolicy> policy = nullptr);
+                        std::unique_ptr<ReplacementPolicy> policy = nullptr,
+                        bool native_lru = false);
 
     BlockCache(const BlockCache &) = delete;
     BlockCache &operator=(const BlockCache &) = delete;
@@ -74,6 +90,18 @@ class BlockCache
 
     /** True when a further insert would exceed capacity. */
     bool full() const { return capacity_ != 0 && size() >= capacity_; }
+
+    /** Inserts possible before the cache is full (max() = unbounded). */
+    std::uint64_t
+    freeBlocks() const
+    {
+        if (capacity_ == 0)
+            return ~std::uint64_t{0};
+        return size() >= capacity_ ? 0 : capacity_ - size();
+    }
+
+    /** True when victims come straight from the internal LRU list. */
+    bool nativeLru() const { return nativeLru_; }
 
     /** True when the block is resident. */
     bool contains(const BlockId &id) const;
@@ -140,10 +168,112 @@ class BlockCache
     /** Last-access time of the LRU block (kNoTime when empty). */
     TimeUs lruAccessTime() const;
 
+    // ------------------------------------------------------------------
+    // Range operations (the extent engine's hot path).  Each resolves
+    // a (file, first..last) block span through the per-file extent
+    // index: one file probe + binary search instead of a hash probe
+    // per block.  Semantically each is exactly the per-block loop over
+    // the same blocks in ascending order.
+    // ------------------------------------------------------------------
+
+    /**
+     * Residency of `block` of `file` and the end (one past, clamped
+     * to last + 1) of the run of blocks in the same state.
+     */
+    ExtentIndex::Run
+    probeRange(FileId file, std::uint32_t block, std::uint32_t last) const
+    {
+        return extents_.probeRun(file, block, last);
+    }
+
+    /**
+     * Insert clean blocks [first, last] of `file`.  Requires none
+     * resident and freeBlocks() >= the run length: callers must evict
+     * first, as with insert().
+     */
+    void insertRange(FileId file, std::uint32_t first,
+                     std::uint32_t last, TimeUs now);
+
+    /**
+     * touch() every resident block of `file` in [first, last],
+     * ascending.  Callers normally pass a fully-resident run from
+     * probeRange().
+     */
+    void touchRange(FileId file, std::uint32_t first, std::uint32_t last,
+                    TimeUs now);
+
+    /**
+     * markDirty() bytes [offset, offset+length) of `file`; every
+     * covered block must be resident.  Returns the previously-dirty
+     * bytes the range overlapped (the absorbed-overwrite count the
+     * models would otherwise gather with one IntervalSet query per
+     * block — interior full blocks are answered in O(1) from the
+     * block's dirty-byte total).
+     */
+    Bytes markDirtyRange(FileId file, Bytes offset, Bytes length,
+                         TimeUs now);
+
+    /**
+     * Visit the resident blocks of `file` in [first, last] ascending
+     * without touching LRU state.  The callback must not mutate the
+     * cache (snapshot first for flush/invalidate loops).
+     */
+    template <typename Fn>
+    void
+    peekRange(FileId file, std::uint32_t first, std::uint32_t last,
+              Fn &&fn) const
+    {
+        extents_.forEachInRange(
+            file, first, last,
+            [&](std::uint32_t, std::uint32_t slot) {
+                fn(static_cast<const CacheBlock &>(arena_[slot].block));
+            });
+    }
+
+    /**
+     * Remove every resident block of `file` in ascending block order,
+     * invoking fn on each block's final metadata first.  Exactly
+     * remove() over blocksOfFile(), but with one extent-index erase
+     * for the whole file instead of a snapshot vector plus a hash
+     * probe and extent binary search per block.  The callback must not
+     * mutate this cache.
+     */
+    template <typename Fn>
+    void
+    removeFileBlocks(FileId file, Fn &&fn)
+    {
+        extents_.forEachOfFile(
+            file, [&](std::uint32_t, std::uint32_t slot) {
+                Entry &entry = arena_[slot];
+                const CacheBlock &block = entry.block;
+                fn(block);
+                if (block.isDirty()) {
+                    dirtyBytes_ -= block.dirtyBytes();
+                    --dirtyBlocks_;
+                    listRemove(dirtyOrder_, &Entry::dirty, slot);
+                } else if (cleanTracking_) {
+                    listRemove(cleanLru_, &Entry::clean, slot);
+                }
+                listRemove(lru_, &Entry::lru, slot);
+                index_.erase(block.id);
+                if (!nativeLru_)
+                    policy_->onRemove(block.id);
+                freeEntry(slot);
+            });
+        extents_.removeFile(file);
+    }
+
+    /** removeFileBlocks() when nothing inspects the dropped blocks. */
+    void
+    removeFileBlocks(FileId file)
+    {
+        removeFileBlocks(file, [](const CacheBlock &) {});
+    }
+
     /** All resident blocks of a file, ascending block index. */
     std::vector<BlockId> blocksOfFile(FileId file) const;
 
-    /** All resident dirty blocks of a file. */
+    /** All resident dirty blocks of a file, ascending block index. */
     std::vector<BlockId> dirtyBlocksOfFile(FileId file) const;
 
     /** Every resident dirty block, in order of becoming dirty. */
@@ -157,6 +287,9 @@ class BlockCache
 
     /** Every resident block, ordered by (file, index). */
     std::vector<BlockId> allBlocks() const;
+
+    /** Resident blocks from LRU to MRU (tests, invariants). */
+    std::vector<BlockId> lruOrder() const;
 
     /** Total dirty bytes across resident blocks. */
     Bytes dirtyBytes() const { return dirtyBytes_; }
@@ -185,7 +318,6 @@ class BlockCache
         Link lru;   ///< global recency order (front = LRU)
         Link dirty; ///< dirty blocks in order of becoming dirty
         Link clean; ///< clean subsequence of lru (when tracking)
-        Link file;  ///< other resident blocks of the same file
         /** Freelist chain when the slot is vacant. */
         std::uint32_t nextFree = kNil;
     };
@@ -215,6 +347,13 @@ class BlockCache
     void listMoveToBack(ListHead &list, Link Entry::*link,
                         std::uint32_t idx);
 
+    /** touch() body for a known arena slot (no hash probe). */
+    void touchSlot(std::uint32_t idx, TimeUs now);
+
+    /** markDirty() body for a known arena slot; returns absorbed. */
+    Bytes markDirtySlot(std::uint32_t idx, Bytes begin, Bytes end,
+                        TimeUs now);
+
     /** Shared tail of insert()/insertOrdered(). */
     CacheBlock &finishInsert(const BlockId &id, std::uint32_t idx);
 
@@ -226,6 +365,7 @@ class BlockCache
 
     std::uint64_t capacity_;
     std::unique_ptr<ReplacementPolicy> policy_;
+    bool nativeLru_ = false;
     /** BlockId -> arena index. */
     util::FlatMap<BlockId, std::uint32_t, BlockIdHash> index_;
     /** Contiguous block arena; vacant slots chain through nextFree. */
@@ -240,10 +380,18 @@ class BlockCache
      *  lruCleanBlock() call flips cleanTracking_. */
     ListHead cleanLru_;
     bool cleanTracking_ = false;
-    /** Per-file membership lists (order arbitrary; queries sort). */
-    util::FlatMap<FileId, ListHead, util::SplitMix64Hash> byFile_;
+    /** Arena slot of the last insertOrdered insert (kNil if none or
+     *  freed since).  Ordered inserts arrive in nearly-sorted streams
+     *  (NVRAM demotions come off the victim cache's LRU head), so
+     *  resuming the boundary walk here is amortized O(1); any resident
+     *  slot is a correct start because the list is globally sorted. */
+    std::uint32_t orderedHint_ = kNil;
+    /** Per-file sorted (block, slot) runs. */
+    ExtentIndex extents_;
     Bytes dirtyBytes_ = 0;
     std::uint64_t dirtyBlocks_ = 0;
+    /** Scratch for insertRange (avoids per-call allocation). */
+    std::vector<std::uint32_t> slotScratch_;
 };
 
 } // namespace nvfs::cache

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Per-file extent index over the block-cache arena.
+ *
+ * For every file with resident blocks, keeps a sorted vector of
+ * (block index, arena slot) pairs.  Because the simulator's traces are
+ * dominated by sequential I/O, the common mutations are appends at the
+ * tail (sequential fill) and removals at the head (LRU eviction of a
+ * sequential stream); both are O(1) thanks to a gap kept at the front
+ * of the vector.  Everything else is a binary search plus a shift
+ * bounded by the file's resident-block count.
+ *
+ * The payoff is range resolution: a (file, first..last) span resolves
+ * to runs of consecutive resident blocks with ONE probe into this
+ * index (hash the file, binary-search the first block), instead of one
+ * hash-map probe per 4 KB block.  The monotone quantity
+ * `entry[j].block - j` makes finding the end of a consecutive run a
+ * second binary search rather than a scan.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/flat_map.hpp"
+#include "util/log.hpp"
+#include "util/types.hpp"
+
+namespace nvfs::cache {
+
+/** Sorted per-file (block, arena slot) runs. */
+class ExtentIndex
+{
+  public:
+    /** One resident block of a file. */
+    struct Entry
+    {
+        std::uint32_t block = 0;
+        std::uint32_t slot = 0;
+    };
+
+    /** Residency probe result: the state of a block and how far the
+     *  run of blocks in the same state extends (one past, clamped to
+     *  last + 1). */
+    struct Run
+    {
+        bool resident = false;
+        std::uint32_t end = 0;
+    };
+
+    /** Number of files with resident blocks. */
+    std::size_t fileCount() const { return files_.size(); }
+
+    /** Record `block` of `file` living at arena `slot`. */
+    void
+    insert(FileId file, std::uint32_t block, std::uint32_t slot)
+    {
+        FileExtents &fx = files_[file];
+        if (fx.v.size() == fx.begin || fx.v.back().block < block) {
+            fx.v.push_back({block, slot});
+            return;
+        }
+        if (block < fx.v[fx.begin].block) {
+            if (fx.begin > 0) {
+                fx.v[--fx.begin] = {block, slot};
+                return;
+            }
+            fx.v.insert(fx.v.begin(), {block, slot});
+            return;
+        }
+        const std::size_t pos = fx.lowerBound(block);
+        NVFS_REQUIRE(pos == fx.v.size() || fx.v[pos].block != block,
+                     "extent index: duplicate block");
+        fx.v.insert(fx.v.begin() + static_cast<std::ptrdiff_t>(pos),
+                    {block, slot});
+    }
+
+    /**
+     * Record a contiguous run [first, first+count) living at
+     * consecutive state `slots[0..count)`.  None may be present.
+     */
+    void
+    insertRun(FileId file, std::uint32_t first,
+              const std::uint32_t *slots, std::uint32_t count)
+    {
+        if (count == 0)
+            return;
+        FileExtents &fx = files_[file];
+        std::size_t pos = fx.lowerBound(first);
+        NVFS_REQUIRE(pos == fx.v.size() ||
+                         fx.v[pos].block >= first + count,
+                     "extent index: run overlaps resident blocks");
+        fx.v.insert(fx.v.begin() + static_cast<std::ptrdiff_t>(pos),
+                    count, Entry{});
+        for (std::uint32_t i = 0; i < count; ++i)
+            fx.v[pos + i] = {first + i, slots[i]};
+    }
+
+    /** Forget `block` of `file`. */
+    void
+    remove(FileId file, std::uint32_t block)
+    {
+        FileExtents *fx = files_.find(file);
+        NVFS_REQUIRE(fx != nullptr, "extent index: unknown file");
+        const std::size_t pos = fx->lowerBound(block);
+        NVFS_REQUIRE(pos < fx->v.size() && fx->v[pos].block == block,
+                     "extent index: unknown block");
+        if (pos == fx->begin) {
+            ++fx->begin;
+            // Reclaim the front gap once it dominates the vector, so
+            // a long-running eviction stream cannot pin memory.
+            if (fx->begin == fx->v.size()) {
+                files_.erase(file);
+            } else if (fx->begin >= 64 &&
+                       fx->begin * 2 >= fx->v.size()) {
+                fx->v.erase(fx->v.begin(),
+                            fx->v.begin() +
+                                static_cast<std::ptrdiff_t>(fx->begin));
+                fx->begin = 0;
+            }
+            return;
+        }
+        if (pos + 1 == fx->v.size()) {
+            fx->v.pop_back();
+            return;
+        }
+        fx->v.erase(fx->v.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+
+    /** Forget every block of `file` at once. */
+    void removeFile(FileId file) { files_.erase(file); }
+
+    /**
+     * Residency of `block` and the end of its same-state run within
+     * [block, last].  One binary search for the position, one for the
+     * run end.
+     */
+    Run
+    probeRun(FileId file, std::uint32_t block, std::uint32_t last) const
+    {
+        const FileExtents *fx = files_.find(file);
+        if (fx == nullptr)
+            return {false, last + 1};
+        const std::size_t pos = fx->lowerBound(block);
+        if (pos == fx->v.size())
+            return {false, last + 1};
+        if (fx->v[pos].block != block) {
+            return {false,
+                    std::min<std::uint32_t>(fx->v[pos].block, last + 1)};
+        }
+        // entry[j].block - j is non-decreasing; the run of consecutive
+        // blocks starting at pos is exactly the prefix where it stays
+        // equal to entry[pos].block - pos.
+        const std::uint64_t key =
+            std::uint64_t{fx->v[pos].block} - pos;
+        std::size_t lo = pos;
+        std::size_t hi = fx->v.size(); // first index past the run
+        while (lo + 1 < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (std::uint64_t{fx->v[mid].block} - mid == key)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        const std::uint32_t run_end = fx->v[lo].block + 1;
+        return {true, std::min<std::uint32_t>(run_end, last + 1)};
+    }
+
+    /** Visit (block, slot) of resident blocks in [first, last]. */
+    template <typename Fn>
+    void
+    forEachInRange(FileId file, std::uint32_t first, std::uint32_t last,
+                   Fn &&fn) const
+    {
+        const FileExtents *fx = files_.find(file);
+        if (fx == nullptr)
+            return;
+        for (std::size_t pos = fx->lowerBound(first);
+             pos < fx->v.size() && fx->v[pos].block <= last; ++pos) {
+            fn(fx->v[pos].block, fx->v[pos].slot);
+        }
+    }
+
+    /** Visit (block, slot) of every resident block, ascending. */
+    template <typename Fn>
+    void
+    forEachOfFile(FileId file, Fn &&fn) const
+    {
+        const FileExtents *fx = files_.find(file);
+        if (fx == nullptr)
+            return;
+        for (std::size_t pos = fx->begin; pos < fx->v.size(); ++pos)
+            fn(fx->v[pos].block, fx->v[pos].slot);
+    }
+
+  private:
+    struct FileExtents
+    {
+        /** Sorted by block; [begin, v.size()) are the live entries
+         *  (the prefix is the front gap). */
+        std::vector<Entry> v;
+        std::size_t begin = 0;
+
+        /** Index of the first live entry with block >= `block`. */
+        std::size_t
+        lowerBound(std::uint32_t block) const
+        {
+            std::size_t lo = begin;
+            std::size_t hi = v.size();
+            while (lo < hi) {
+                const std::size_t mid = lo + (hi - lo) / 2;
+                if (v[mid].block < block)
+                    lo = mid + 1;
+                else
+                    hi = mid;
+            }
+            return lo;
+        }
+    };
+
+    util::FlatMap<FileId, FileExtents, util::SplitMix64Hash> files_;
+};
+
+} // namespace nvfs::cache

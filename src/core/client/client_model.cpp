@@ -1,6 +1,9 @@
 #include "core/client/client_model.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <string_view>
 
 #include "core/client/unified_model.hpp"
 #include "core/client/volatile_model.hpp"
@@ -20,6 +23,26 @@ modelKindName(ModelKind kind)
     return "unknown";
 }
 
+bool
+defaultExtentEngine()
+{
+    static const bool value = [] {
+        const char *env = std::getenv("NVFS_BLOCK_ENGINE");
+        if (env == nullptr || *env == '\0')
+            return true;
+        const std::string_view name(env);
+        if (name == "extent")
+            return true;
+        if (name == "legacy")
+            return false;
+        util::warn("NVFS_BLOCK_ENGINE='" + std::string(name) +
+                   "' is not a known engine (expected 'extent' or "
+                   "'legacy'); using the extent engine");
+        return true;
+    }();
+    return value;
+}
+
 ClientModel::ClientModel(const ModelConfig &config, Metrics &metrics,
                          const FileSizeMap &sizes, util::Rng &rng)
     : config_(config), metrics_(metrics), sizes_(sizes), rng_(rng)
@@ -35,6 +58,20 @@ ClientModel::blockTransferBytes(const cache::BlockId &id) const
     if (size <= start)
         return kBlockSize; // size unknown/stale: charge a full block
     return std::min<Bytes>(kBlockSize, size - start);
+}
+
+Bytes
+ClientModel::rangeTransferBytes(FileId file, std::uint32_t first,
+                                std::uint32_t last) const
+{
+    const Bytes *found = sizes_.find(file);
+    const Bytes size = found == nullptr ? 0 : *found;
+    Bytes total = Bytes{last - first + 1} * kBlockSize;
+    const Bytes rem = size % kBlockSize;
+    const auto size_block = static_cast<std::uint32_t>(size / kBlockSize);
+    if (rem != 0 && size_block >= first && size_block <= last)
+        total -= kBlockSize - rem;
+    return total;
 }
 
 Bytes

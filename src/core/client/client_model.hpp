@@ -30,6 +30,14 @@ enum class ModelKind { Volatile, WriteAside, Unified };
 /** Printable model name. */
 std::string modelKindName(ModelKind kind);
 
+/**
+ * Default for ModelConfig::extentOps, from NVFS_BLOCK_ENGINE: "extent"
+ * (or unset) enables the extent-granularity fast paths, "legacy"
+ * forces the original per-block engine (kept for differential tests).
+ * Anything else warns once and uses the extent engine.
+ */
+bool defaultExtentEngine();
+
 /** Configuration shared by all three models. */
 struct ModelConfig
 {
@@ -65,6 +73,15 @@ struct ModelConfig
     bool dynamicSizing = false;
     double dynamicMinFraction = 0.5;
     TimeUs dynamicPeriod = 20 * kUsPerMinute;
+
+    /**
+     * Process whole block runs through the cache's range operations
+     * instead of one hash probe + LRU splice per 4 KB block.  Results
+     * are byte-identical to the per-block engine (enforced by the
+     * legacy-vs-extent differential tests); this only changes how
+     * fast they are computed.
+     */
+    bool extentOps = defaultExtentEngine();
 };
 
 /** One client's cache state. */
@@ -132,6 +149,17 @@ class ClientModel
     Bytes blockTransferBytes(const cache::BlockId &id) const;
 
     /**
+     * Sum of blockTransferBytes over blocks [first, last] of `file`,
+     * in closed form: one size lookup per run instead of one per
+     * block.  Every block transfers kBlockSize except the one
+     * containing the EOF byte, which is clipped (blocks past EOF
+     * charge a full block, matching blockTransferBytes' unknown-size
+     * rule).
+     */
+    Bytes rangeTransferBytes(FileId file, std::uint32_t first,
+                             std::uint32_t last) const;
+
+    /**
      * Account one block write to the server: updates the metrics and
      * notifies the configured sink.  Returns the bytes transferred.
      */
@@ -172,6 +200,39 @@ forEachBlock(FileId file, Bytes offset, Bytes length, Fn &&fn)
         fn(cache::BlockId{file, index}, in_begin, in_end);
         pos += in_end - in_begin;
     }
+}
+
+/** First block index touched by [offset, offset+length), length > 0. */
+inline std::uint32_t
+firstBlockOf(Bytes offset)
+{
+    return static_cast<std::uint32_t>(offset / kBlockSize);
+}
+
+/** Last block index touched by [offset, offset+length), length > 0. */
+inline std::uint32_t
+lastBlockOf(Bytes offset, Bytes length)
+{
+    return static_cast<std::uint32_t>((offset + length - 1) /
+                                      kBlockSize);
+}
+
+/**
+ * Clamp a block run's exclusive end so the run spans at most `cap`
+ * blocks from `b` (cap > 0).  The models chunk giant runs this way so
+ * the batched fast paths — whose equivalence proofs need the run to
+ * fit in the cache — keep applying; the loop re-probes after each
+ * chunk, and processing a prefix then re-probing is exactly the
+ * per-block schedule cut into pieces, so chunking cannot change the
+ * simulated outcome.
+ */
+inline std::uint32_t
+clampRunEnd(std::uint32_t b, std::uint32_t end, std::uint64_t cap)
+{
+    const std::uint64_t limit = b + cap;
+    return std::uint64_t{end} > limit
+               ? static_cast<std::uint32_t>(limit)
+               : end;
 }
 
 } // namespace nvfs::core

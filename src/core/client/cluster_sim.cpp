@@ -106,8 +106,27 @@ ClusterSim::run(const prep::OpStream &ops)
           case OpType::Read: {
             const ClientId client = col.client[i];
             const Bytes offset = col.offset[i];
-            const Bytes length = col.length[i];
+            Bytes length = col.length[i];
             NVFS_REQUIRE(client < clients_.size(), "bad client");
+            // A block-level callback fires one recallRange per sub-op
+            // interleaved with the reads; folding the reads would
+            // regroup those flushes around them, so don't.
+            bool owner_recall = false;
+            if (config_.blockLevelCallbacks &&
+                !engine_.cachingDisabled(file)) {
+                const ClientId *owner = dirtyOwner_.find(file);
+                owner_recall = owner != nullptr && *owner != client &&
+                               *owner < clients_.size();
+            }
+            if (config_.coalesce && !owner_recall) {
+                const Bytes *sz = sizes_.find(file);
+                const Bytes size0 = sz == nullptr ? 0 : *sz;
+                while (i + 1 < count &&
+                       prep::canCoalesce(col, i, i + 1, offset, length,
+                                         size0)) {
+                    length += col.length[++i];
+                }
+            }
             auto &size = sizes_[file];
             size = std::max(size, offset + length);
             if (engine_.cachingDisabled(file)) {
@@ -131,8 +150,17 @@ ClusterSim::run(const prep::OpStream &ops)
           case OpType::Write: {
             const ClientId client = col.client[i];
             const Bytes offset = col.offset[i];
-            const Bytes length = col.length[i];
+            Bytes length = col.length[i];
             NVFS_REQUIRE(client < clients_.size(), "bad client");
+            if (config_.coalesce) {
+                const Bytes *sz = sizes_.find(file);
+                const Bytes size0 = sz == nullptr ? 0 : *sz;
+                while (i + 1 < count &&
+                       prep::canCoalesce(col, i, i + 1, offset, length,
+                                         size0)) {
+                    length += col.length[++i];
+                }
+            }
             auto &size = sizes_[file];
             size = std::max(size, offset + length);
             if (engine_.cachingDisabled(file)) {

@@ -32,6 +32,15 @@ struct ClusterConfig
     bool blockLevelCallbacks = false;
 
     /**
+     * Fold adjacent same-time sequential reads/writes of one
+     * (client, pid, file) stream into a single maximal op before
+     * dispatch (prep::canCoalesce), so the extent engine sees whole
+     * extents.  Provably invisible to the results; off only for the
+     * coalescing differential tests.
+     */
+    bool coalesce = true;
+
+    /**
      * Fault injection (Section 4): (time, client) pairs, sorted by
      * time.  At each point the client crashes and reboots — volatile
      * contents are lost, NVRAM contents are recovered.

@@ -14,6 +14,9 @@
 
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "core/client/client_model.hpp"
 
 namespace nvfs::core {
@@ -54,11 +57,23 @@ class UnifiedModel : public ClientModel
      */
     void ensureNvramSpace(TimeUs now);
 
+    /** One eviction step of ensureNvramSpace (extent batching). */
+    void evictNvramVictim(TimeUs now);
+
     /** Insert a clean fetched block per the unified placement rule. */
     void placeCleanBlock(const cache::BlockId &id, TimeUs now);
 
+    /** Per-block read body (legacy engine and fallback). */
+    void readBlock(const cache::BlockId &id, TimeUs now);
+
+    /** Per-block write body (legacy engine and fallback). */
+    void writeBlock(const cache::BlockId &id, Bytes begin, Bytes end,
+                    TimeUs now);
+
     cache::BlockCache volatile_;
     cache::BlockCache nvram_;
+    /** Scratch for recallRange (snapshot before mutating). */
+    std::vector<std::pair<std::uint32_t, bool>> recallScratch_;
 };
 
 } // namespace nvfs::core

@@ -12,6 +12,9 @@
 
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "core/client/client_model.hpp"
 
 namespace nvfs::core {
@@ -49,11 +52,32 @@ class VolatileModel : public ClientModel
     /** Evict until an insert is possible. */
     void ensureSpace(TimeUs now);
 
+    /** Per-block read body (legacy engine and fallback). */
+    void readBlock(const cache::BlockId &id, TimeUs now);
+
+    /** Per-block write body (legacy engine and fallback). */
+    void writeBlock(const cache::BlockId &id, Bytes begin, Bytes end,
+                    TimeUs now);
+
+    /**
+     * Make blocks [first, last] of `file` resident (extent engine).
+     * Batches the insert — and, when the per-block victim schedule
+     * provably matches, the evictions — falling back to the per-block
+     * loop otherwise.
+     */
+    void fillRun(FileId file, std::uint32_t first, std::uint32_t last,
+                 TimeUs now);
+
+    /** Evict exactly `count` victims (flushing dirty ones). */
+    void evictBlocks(std::uint64_t count, TimeUs now);
+
     /** Apply Sprite's dynamic cache sizing (when enabled). */
     void resize(TimeUs now);
 
     cache::BlockCache cache_;
     double sizingPhase_ = 0.0;
+    /** Scratch for recallRange (snapshot before mutating). */
+    std::vector<std::pair<std::uint32_t, bool>> recallScratch_;
 };
 
 } // namespace nvfs::core

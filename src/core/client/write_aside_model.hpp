@@ -13,6 +13,9 @@
 
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "core/client/client_model.hpp"
 
 namespace nvfs::core {
@@ -56,8 +59,25 @@ class WriteAsideModel : public ClientModel
     /** Evict from the NVRAM until an insert fits. */
     void ensureNvramSpace(TimeUs now);
 
+    /** Per-block read body (legacy engine and fallback). */
+    void readBlock(const cache::BlockId &id, TimeUs now);
+
+    /** Per-block write body (legacy engine and fallback). */
+    void writeBlock(const cache::BlockId &id, Bytes begin, Bytes end,
+                    TimeUs now);
+
+    /**
+     * Make blocks [first, last] of `file` resident in the volatile
+     * cache (extent engine).  Only called when batching the evictions
+     * preserves the per-block victim schedule.
+     */
+    void fillVolatileRun(FileId file, std::uint32_t first,
+                         std::uint32_t last, TimeUs now);
+
     cache::BlockCache volatile_;
     cache::BlockCache nvram_;
+    /** Scratch for recallRange (snapshot before mutating). */
+    std::vector<std::pair<std::uint32_t, bool>> recallScratch_;
 };
 
 } // namespace nvfs::core

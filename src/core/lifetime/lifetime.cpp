@@ -8,7 +8,6 @@
 
 namespace nvfs::core {
 
-using prep::Op;
 using prep::OpType;
 
 std::string
@@ -74,58 +73,68 @@ analyzeLifetimes(const prep::OpStream &ops)
         lastWriter.erase(file);
     };
 
-    for (const Op &op : ops.ops) {
-        switch (op.type) {
+    // Column scan: the dispatch path streams the time/type/file
+    // columns; each case pulls only what it needs (byte-run extents
+    // go straight into the IntervalMap — no per-block work anywhere).
+    const prep::OpColumns &col = ops.ops;
+    const std::size_t count = col.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        const TimeUs time = col.time[i];
+        const FileId file = col.file[i];
+        switch (col.type[i]) {
           case OpType::Open: {
             const OpenActions actions = engine.onOpen(
-                op.client, op.pid, op.file, op.openForWrite);
+                col.client[i], col.pid[i], file,
+                (col.openFlags[i] & prep::kOpenForWrite) != 0);
             if (actions.recallFrom != kNoClient)
-                flushFile(op.file, op.time);
+                flushFile(file, time);
             if (actions.disableCaching)
-                flushFile(op.file, op.time);
+                flushFile(file, time);
             break;
           }
           case OpType::Close:
-            engine.onClose(op.client, op.pid, op.file);
+            engine.onClose(col.client[i], col.pid[i], file);
             break;
           case OpType::Write: {
-            result.totalWritten += op.length;
-            if (engine.cachingDisabled(op.file)) {
-                record(op.file, op.offset, op.offset + op.length,
-                       op.time, op.time, ByteFate::Concurrent);
+            const Bytes offset = col.offset[i];
+            const Bytes length = col.length[i];
+            result.totalWritten += length;
+            if (engine.cachingDisabled(file)) {
+                record(file, offset, offset + length, time, time,
+                       ByteFate::Concurrent);
                 break;
             }
-            dirty[op.file].assign(
-                op.offset, op.offset + op.length, op.time,
+            dirty[file].assign(
+                offset, offset + length, time,
                 [&](Bytes begin, Bytes end, const TimeUs &birth) {
-                    record(op.file, begin, end, birth, op.time,
+                    record(file, begin, end, birth, time,
                            ByteFate::Overwritten);
                 });
-            engine.onWrite(op.client, op.file);
-            lastWriter[op.file] = {op.client, op.pid};
+            engine.onWrite(col.client[i], file);
+            lastWriter[file] = {col.client[i], col.pid[i]};
             break;
           }
           case OpType::Delete: {
-            auto it = dirty.find(op.file);
+            auto it = dirty.find(file);
             if (it != dirty.end()) {
                 it->second.clear([&](Bytes begin, Bytes end,
                                      const TimeUs &birth) {
-                    record(op.file, begin, end, birth, op.time,
+                    record(file, begin, end, birth, time,
                            ByteFate::Deleted);
                 });
                 dirty.erase(it);
             }
-            lastWriter.erase(op.file);
-            engine.onDelete(op.file);
+            lastWriter.erase(file);
+            engine.onDelete(file);
             break;
           }
           case OpType::Truncate: {
-            auto it = dirty.find(op.file);
+            auto it = dirty.find(file);
             if (it != dirty.end()) {
                 it->second.erase(
-                    op.length, std::numeric_limits<Bytes>::max(),
+                    col.length[i], std::numeric_limits<Bytes>::max(),
                     [&](Bytes begin, Bytes end, const TimeUs &birth) {
-                        record(op.file, begin, end, birth, op.time,
+                        record(file, begin, end, birth, time,
                                ByteFate::Deleted);
                     });
             }
@@ -136,14 +145,14 @@ analyzeLifetimes(const prep::OpStream &ops)
             break;
           case OpType::Migrate: {
             std::vector<FileId> victims;
-            for (const auto &[file, writer] : lastWriter) {
-                if (writer.first == op.client &&
-                    writer.second == op.pid) {
-                    victims.push_back(file);
+            for (const auto &[written, writer] : lastWriter) {
+                if (writer.first == col.client[i] &&
+                    writer.second == col.pid[i]) {
+                    victims.push_back(written);
                 }
             }
-            for (FileId file : victims)
-                flushFile(file, op.time);
+            for (FileId victim : victims)
+                flushFile(victim, time);
             break;
           }
           case OpType::Read:

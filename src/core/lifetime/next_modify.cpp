@@ -1,8 +1,7 @@
 #include "core/lifetime/next_modify.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <limits>
 
 #include "core/client/client_model.hpp"
 
@@ -10,43 +9,60 @@ namespace nvfs::core {
 
 NextModifyIndex::NextModifyIndex(const prep::OpStream &ops)
 {
-    // Blocks currently existing per file, so Delete/Truncate can be
-    // fanned out to the affected blocks.
-    std::map<FileId, std::set<std::uint32_t>> live;
-
-    // Column scan: only time/type/file/offset/length are read.
+    // Column scan consuming extents: only time/type/file/offset/length
+    // are read, one hash probe per op (not per 4 KB block).  Writes
+    // append to a dense per-file table indexed by block number;
+    // Delete/Truncate walk the file's live block-index *runs* instead
+    // of an element-wise set.
     const prep::OpColumns &col = ops.ops;
     for (std::size_t i = 0; i < col.size(); ++i) {
         const TimeUs time = col.time[i];
         const FileId file = col.file[i];
         switch (col.type[i]) {
-          case prep::OpType::Write:
-            forEachBlock(file, col.offset[i], col.length[i],
-                         [&](const cache::BlockId &id, Bytes, Bytes) {
-                             times_[id].push_back(time);
-                             live[file].insert(id.index);
-                         });
-            break;
-          case prep::OpType::Delete: {
-            auto it = live.find(file);
-            if (it == live.end())
+          case prep::OpType::Write: {
+            const Bytes length = col.length[i];
+            if (length == 0)
                 break;
-            for (std::uint32_t index : it->second)
-                times_[{file, index}].push_back(time);
-            live.erase(it);
+            const std::uint32_t first = firstBlockOf(col.offset[i]);
+            const std::uint32_t last =
+                lastBlockOf(col.offset[i], length);
+            FileTimes &times = files_[file];
+            if (times.blocks.size() <= last)
+                times.blocks.resize(std::size_t{last} + 1);
+            for (std::uint32_t b = first; b <= last; ++b) {
+                if (times.blocks[b].empty())
+                    ++blockCount_;
+                times.blocks[b].push_back(time);
+            }
+            times.live.insert(first, Bytes{last} + 1);
+            break;
+          }
+          case prep::OpType::Delete: {
+            FileTimes *times = files_.find(file);
+            if (times == nullptr || times->live.empty())
+                break;
+            for (const util::ByteRange &run : times->live.runs()) {
+                for (Bytes b = run.begin; b < run.end; ++b)
+                    times->blocks[static_cast<std::size_t>(b)]
+                        .push_back(time);
+            }
+            times->live.clear();
             break;
           }
           case prep::OpType::Truncate: {
-            auto it = live.find(file);
-            if (it == live.end())
+            FileTimes *times = files_.find(file);
+            if (times == nullptr || times->live.empty())
                 break;
-            const auto first_dead = static_cast<std::uint32_t>(
-                blocksCovering(col.length[i]));
-            auto bit = it->second.lower_bound(first_dead);
-            while (bit != it->second.end()) {
-                times_[{file, *bit}].push_back(time);
-                bit = it->second.erase(bit);
+            const Bytes first_dead = blocksCovering(col.length[i]);
+            for (const util::ByteRange &run : times->live.runs()) {
+                for (Bytes b = std::max(run.begin, first_dead);
+                     b < run.end; ++b) {
+                    times->blocks[static_cast<std::size_t>(b)]
+                        .push_back(time);
+                }
             }
+            times->live.erase(first_dead,
+                              std::numeric_limits<Bytes>::max());
             break;
           }
           default:
@@ -56,20 +72,23 @@ NextModifyIndex::NextModifyIndex(const prep::OpStream &ops)
 
     // Ops are time-sorted, so each vector is already sorted; fix any
     // inversions cheaply to stay robust to unsorted input.
-    times_.forEach([](const cache::BlockId &, std::vector<TimeUs> &vec) {
-        if (!std::is_sorted(vec.begin(), vec.end()))
-            std::sort(vec.begin(), vec.end());
+    files_.forEach([](const FileId &, FileTimes &times) {
+        for (std::vector<TimeUs> &vec : times.blocks) {
+            if (!std::is_sorted(vec.begin(), vec.end()))
+                std::sort(vec.begin(), vec.end());
+        }
     });
 }
 
 TimeUs
 NextModifyIndex::nextModify(const cache::BlockId &id, TimeUs after) const
 {
-    const std::vector<TimeUs> *vec = times_.find(id);
-    if (vec == nullptr)
+    const FileTimes *times = files_.find(id.file);
+    if (times == nullptr || id.index >= times->blocks.size())
         return kTimeInfinity;
-    auto pos = std::upper_bound(vec->begin(), vec->end(), after);
-    return pos == vec->end() ? kTimeInfinity : *pos;
+    const std::vector<TimeUs> &vec = times->blocks[id.index];
+    auto pos = std::upper_bound(vec.begin(), vec.end(), after);
+    return pos == vec.end() ? kTimeInfinity : *pos;
 }
 
 } // namespace nvfs::core

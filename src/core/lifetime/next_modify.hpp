@@ -17,6 +17,7 @@
 #include "cache/policy.hpp"
 #include "prep/ops.hpp"
 #include "util/flat_map.hpp"
+#include "util/interval_set.hpp"
 
 namespace nvfs::core {
 
@@ -32,11 +33,23 @@ class NextModifyIndex : public cache::NextModifyOracle
                       TimeUs after) const override;
 
     /** Number of indexed blocks. */
-    std::size_t blockCount() const { return times_.size(); }
+    std::size_t blockCount() const { return blockCount_; }
 
   private:
-    util::FlatMap<cache::BlockId, std::vector<TimeUs>,
-                  cache::BlockIdHash> times_;
+    /**
+     * Per-file state: the modify-time list of block `b` lives at
+     * blocks[b], and `live` holds the block-index runs currently in
+     * existence (so Delete/Truncate fan out run-wise, not through an
+     * element-wise set).
+     */
+    struct FileTimes
+    {
+        std::vector<std::vector<TimeUs>> blocks;
+        util::IntervalSet live;
+    };
+
+    util::FlatMap<FileId, FileTimes, util::SplitMix64Hash> files_;
+    std::size_t blockCount_ = 0;
 };
 
 } // namespace nvfs::core

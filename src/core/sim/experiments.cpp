@@ -174,10 +174,33 @@ opsWithSeed(int paper_number, double scale, std::uint64_t seed)
 {
     const workload::TraceProfile profile =
         workload::standardProfile(paper_number, scale);
+    // Same persistent-cache protocol as buildStandardOps, with the
+    // seed folded into the fingerprint so each seed variant gets its
+    // own cache file (reseeded sweeps used to bypass the cache).
+    const auto dir = prep::traceCacheDir();
+    std::string path;
+    std::uint64_t fingerprint = 0;
+    if (dir) {
+        std::string fp = workload::profileFingerprint(profile);
+        fp += util::format(
+            "|paper=%d|seed=%llu|schema=%u|codec=%u", paper_number,
+            static_cast<unsigned long long>(seed), kTraceGenSchema,
+            static_cast<unsigned>(prep::kOpsCacheVersion));
+        fingerprint = trace::fnv1a(fp.data(), fp.size());
+        path = *dir + "/" +
+               prep::opsCacheFileName(
+                   static_cast<std::uint16_t>(paper_number - 1),
+                   fingerprint);
+        if (auto cached = prep::loadCachedOps(path, fingerprint))
+            return std::move(*cached);
+    }
     workload::GeneratorOptions options;
     options.seed = seed;
     workload::ClientTraceGenerator generator(profile, options);
-    return prep::convertTrace(generator.generate());
+    prep::OpStream ops = prep::convertTrace(generator.generate());
+    if (dir)
+        prep::storeCachedOps(path, ops, fingerprint);
+    return ops;
 }
 
 const LifetimeResult &

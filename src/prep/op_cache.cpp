@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <map>
+#include <mutex>
 
 #include <fcntl.h>
 #include <sys/mman.h>
@@ -184,7 +186,31 @@ traceCacheDir()
     const char *env = std::getenv("NVFS_TRACE_CACHE");
     if (env == nullptr || *env == '\0')
         return std::nullopt;
-    return std::string(env);
+    std::string dir(env);
+    // Validate each value once (sweep workers call this concurrently):
+    // create the directory if missing, and downgrade an unusable path
+    // to "cache disabled" with a single warning instead of a silent
+    // store failure per trace.
+    static std::mutex mutex;
+    static std::map<std::string, bool> checked;
+    const std::lock_guard<std::mutex> lock(mutex);
+    auto it = checked.find(dir);
+    if (it == checked.end()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        const bool usable =
+            std::filesystem::is_directory(dir, ec) &&
+            ::access(dir.c_str(), W_OK | X_OK) == 0;
+        if (!usable) {
+            util::warn("NVFS_TRACE_CACHE='" + dir +
+                       "' is not a writable directory; the "
+                       "persistent trace cache is disabled");
+        }
+        it = checked.emplace(dir, usable).first;
+    }
+    if (!it->second)
+        return std::nullopt;
+    return dir;
 }
 
 std::string

@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Differential tests of the extent-granularity engine against the
+ * per-block legacy engine.  The extent engine must be *byte-identical*
+ * — every Metrics counter, including the per-cause server-write
+ * histogram, must match the legacy engine on every trace, model, and
+ * consistency mode — and the BlockCache range operations must leave
+ * the cache in exactly the state the equivalent per-block loop would.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "cache/block_cache.hpp"
+#include "core/client/cluster_sim.hpp"
+#include "core/lifetime/next_modify.hpp"
+#include "core/sim/experiments.hpp"
+#include "util/rng.hpp"
+
+namespace nvfs::core {
+namespace {
+
+using cache::BlockCache;
+using cache::BlockId;
+using cache::PolicyKind;
+
+constexpr double kScale = 0.02;
+
+/** Run one cluster simulation with full config control. */
+Metrics
+runCluster(const prep::OpStream &ops, const ClusterConfig &config)
+{
+    ClusterSim sim(config,
+                   std::max<std::uint32_t>(1, ops.clientCount));
+    return sim.run(ops);
+}
+
+/** Small caches so every trace forces evictions in both memories. */
+ModelConfig
+tinyModel(ModelKind kind)
+{
+    ModelConfig model;
+    model.kind = kind;
+    model.volatileBytes = 48 * kBlockSize;
+    model.nvramBytes = 16 * kBlockSize;
+    return model;
+}
+
+// The tentpole acceptance check: 8 traces x 3 models x block-level
+// callbacks on/off, extent vs legacy, identical Metrics (operator==
+// covers the per-cause byte histogram and both absorbed counters).
+TEST(ExtentEngineDifferential, MatchesLegacyOnStandardTraces)
+{
+    const ModelKind kinds[] = {ModelKind::Volatile,
+                               ModelKind::WriteAside,
+                               ModelKind::Unified};
+    for (int trace = 1; trace <= 8; ++trace) {
+        const auto &ops = standardOps(trace, kScale);
+        for (ModelKind kind : kinds) {
+            for (bool callbacks : {false, true}) {
+                ClusterConfig config;
+                config.model = tinyModel(kind);
+                config.blockLevelCallbacks = callbacks;
+                config.model.extentOps = true;
+                const Metrics extent = runCluster(ops, config);
+                config.model.extentOps = false;
+                const Metrics legacy = runCluster(ops, config);
+                EXPECT_EQ(extent, legacy)
+                    << "trace " << trace << " model "
+                    << modelKindName(kind) << " callbacks "
+                    << callbacks;
+            }
+        }
+    }
+}
+
+// Non-LRU NVRAM policies exercise the per-block fallback paths and
+// the zero-eviction insertRange batching (whose policy-notification
+// regrouping must be invisible to Random/Clock/Omniscient state).
+TEST(ExtentEngineDifferential, MatchesLegacyUnderNonLruPolicies)
+{
+    for (int trace : {1, 4}) {
+        const auto &ops = standardOps(trace, kScale);
+        const auto &oracle = standardOracle(trace, kScale);
+        for (PolicyKind policy :
+             {PolicyKind::Random, PolicyKind::Clock,
+              PolicyKind::Omniscient}) {
+            for (ModelKind kind :
+                 {ModelKind::WriteAside, ModelKind::Unified}) {
+                ClusterConfig config;
+                config.model = tinyModel(kind);
+                config.model.nvramPolicy = policy;
+                config.model.oracle = &oracle;
+                config.model.extentOps = true;
+                const Metrics extent = runCluster(ops, config);
+                config.model.extentOps = false;
+                const Metrics legacy = runCluster(ops, config);
+                EXPECT_EQ(extent, legacy)
+                    << "trace " << trace << " model "
+                    << modelKindName(kind) << " policy "
+                    << cache::policyName(policy);
+            }
+        }
+    }
+}
+
+// The dirty-preference ablation disables most write batching (victim
+// choice observes dirty state mid-run); the fallback must still be
+// exact.
+TEST(ExtentEngineDifferential, MatchesLegacyWithDirtyPreference)
+{
+    for (int trace : {2, 3}) {
+        const auto &ops = standardOps(trace, kScale);
+        for (ModelKind kind :
+             {ModelKind::Volatile, ModelKind::WriteAside}) {
+            ClusterConfig config;
+            config.model = tinyModel(kind);
+            config.model.dirtyPreference = true;
+            config.model.extentOps = true;
+            const Metrics extent = runCluster(ops, config);
+            config.model.extentOps = false;
+            const Metrics legacy = runCluster(ops, config);
+            EXPECT_EQ(extent, legacy)
+                << "trace " << trace << " model "
+                << modelKindName(kind);
+        }
+    }
+}
+
+// Prep-layer coalescing folds adjacent same-time sequential sub-ops
+// into one extent before dispatch; it must be invisible in every
+// counter, with and without block-level callbacks.
+TEST(ExtentEngineDifferential, CoalescingIsInvisible)
+{
+    const ModelKind kinds[] = {ModelKind::Volatile,
+                               ModelKind::WriteAside,
+                               ModelKind::Unified};
+    for (int trace = 1; trace <= 8; ++trace) {
+        const auto &ops = standardOps(trace, kScale);
+        for (ModelKind kind : kinds) {
+            for (bool callbacks : {false, true}) {
+                ClusterConfig config;
+                config.model = tinyModel(kind);
+                config.blockLevelCallbacks = callbacks;
+                config.coalesce = true;
+                const Metrics merged = runCluster(ops, config);
+                config.coalesce = false;
+                const Metrics split = runCluster(ops, config);
+                EXPECT_EQ(merged, split)
+                    << "trace " << trace << " model "
+                    << modelKindName(kind) << " callbacks "
+                    << callbacks;
+            }
+        }
+    }
+}
+
+/** Full observable state of a BlockCache, for exact comparison. */
+struct CacheState
+{
+    std::vector<BlockId> blocks;
+    std::vector<BlockId> lru;
+    std::vector<std::vector<util::ByteRange>> dirty;
+
+    bool operator==(const CacheState &other) const = default;
+};
+
+CacheState
+snapshot(const BlockCache &cache)
+{
+    CacheState state;
+    state.blocks = cache.allBlocks();
+    state.lru = cache.lruOrder();
+    for (const BlockId &id : state.blocks)
+        state.dirty.push_back(cache.peek(id)->dirty.runs());
+    return state;
+}
+
+// Randomized equivalence: drive one cache through the range
+// operations and a twin through the per-block calls, and require the
+// same resident set, LRU order, per-block dirty runs, absorbed-byte
+// returns, and victim sequence at every step.
+TEST(BlockCacheRangeOps, RandomizedEquivalenceWithPerBlock)
+{
+    for (bool native : {false, true}) {
+        constexpr std::uint64_t kCapacity = 24;
+        BlockCache ranged(kCapacity, nullptr, native);
+        BlockCache blocked(kCapacity, nullptr, native);
+        util::Rng rng(native ? 0xfeedULL : 0xbeefULL);
+        TimeUs now = 0;
+
+        for (int step = 0; step < 4000; ++step) {
+            now += rng.uniformInt(0, 3);
+            const FileId file = rng.uniformInt(1, 4);
+            const auto first =
+                static_cast<std::uint32_t>(rng.uniformInt(0, 30));
+            const auto last = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(30,
+                                        first + rng.uniformInt(0, 7)));
+            const auto run = ranged.probeRange(file, first, last);
+            switch (rng.uniformInt(0, 5)) {
+              case 0: { // insertRange over a fully-absent run
+                if (run.resident ||
+                    ranged.freeBlocks() < run.end - first) {
+                    break;
+                }
+                ranged.insertRange(file, first, run.end - 1, now);
+                for (std::uint32_t b = first; b < run.end; ++b)
+                    blocked.insert({file, b}, now);
+                break;
+              }
+              case 1: { // touchRange over whatever is resident
+                ranged.touchRange(file, first, last, now);
+                for (std::uint32_t b = first; b <= last; ++b) {
+                    if (blocked.contains({file, b}))
+                        blocked.touch({file, b}, now);
+                }
+                break;
+              }
+              case 2: { // markDirtyRange over a fully-resident run
+                if (!run.resident)
+                    break;
+                const std::uint32_t end = run.end - 1;
+                const Bytes begin =
+                    Bytes{first} * kBlockSize +
+                    rng.uniformInt(0, kBlockSize - 1);
+                const Bytes limit = Bytes{end + 1} * kBlockSize;
+                const Bytes length =
+                    std::min<Bytes>(limit - begin,
+                                    1 + rng.uniformInt(0, kBlockSize));
+                const Bytes absorbed_ranged =
+                    ranged.markDirtyRange(file, begin, length, now);
+                Bytes absorbed_blocked = 0;
+                forEachBlock(file, begin, length,
+                             [&](const BlockId &id, Bytes b, Bytes e) {
+                                 absorbed_blocked +=
+                                     blocked.peek(id)->dirty
+                                         .overlapBytes(b, e);
+                                 blocked.markDirty(id, b, e, now);
+                             });
+                EXPECT_EQ(absorbed_ranged, absorbed_blocked);
+                break;
+              }
+              case 3: { // evict one victim
+                const auto victim = ranged.chooseVictim(now);
+                const auto twin = blocked.chooseVictim(now);
+                ASSERT_EQ(victim.has_value(), twin.has_value());
+                if (victim) {
+                    EXPECT_EQ(*victim, *twin);
+                    ranged.remove(*victim);
+                    blocked.remove(*twin);
+                }
+                break;
+              }
+              case 4: { // remove a specific resident block
+                if (ranged.contains({file, first})) {
+                    ranged.remove({file, first});
+                    blocked.remove({file, first});
+                }
+                break;
+              }
+              case 5: { // peekRange must see the per-block view
+                std::vector<BlockId> seen;
+                ranged.peekRange(file, first, last,
+                                 [&](const cache::CacheBlock &block) {
+                                     seen.push_back(block.id);
+                                 });
+                std::vector<BlockId> expected;
+                for (std::uint32_t b = first; b <= last; ++b) {
+                    if (blocked.contains({file, b}))
+                        expected.push_back({file, b});
+                }
+                EXPECT_EQ(seen, expected);
+                break;
+              }
+            }
+            if (step % 256 == 0)
+                ASSERT_EQ(snapshot(ranged), snapshot(blocked));
+        }
+        EXPECT_EQ(snapshot(ranged), snapshot(blocked));
+
+        // Drain: the victim sequences must agree to the last block.
+        while (ranged.size() > 0) {
+            const auto victim = ranged.chooseVictim(now);
+            const auto twin = blocked.chooseVictim(now);
+            ASSERT_TRUE(victim.has_value());
+            ASSERT_TRUE(twin.has_value());
+            EXPECT_EQ(*victim, *twin);
+            ranged.remove(*victim);
+            blocked.remove(*twin);
+        }
+        EXPECT_EQ(blocked.size(), 0u);
+    }
+}
+
+// The restructured NextModifyIndex (per-file block tables + live
+// runs) must answer exactly like the straightforward per-block
+// reference built with element-wise maps.
+TEST(NextModifyIndexDifferential, MatchesPerBlockReference)
+{
+    const auto &ops = standardOps(3, kScale);
+    const NextModifyIndex index(ops);
+
+    std::map<std::pair<FileId, std::uint32_t>, std::vector<TimeUs>>
+        reference;
+    std::map<FileId, std::set<std::uint32_t>> live;
+    const prep::OpColumns &col = ops.ops;
+    for (std::size_t i = 0; i < col.size(); ++i) {
+        const TimeUs time = col.time[i];
+        const FileId file = col.file[i];
+        switch (col.type[i]) {
+          case prep::OpType::Write:
+            forEachBlock(file, col.offset[i], col.length[i],
+                         [&](const BlockId &id, Bytes, Bytes) {
+                             reference[{file, id.index}]
+                                 .push_back(time);
+                             live[file].insert(id.index);
+                         });
+            break;
+          case prep::OpType::Delete: {
+            auto it = live.find(file);
+            if (it == live.end())
+                break;
+            for (std::uint32_t block : it->second)
+                reference[{file, block}].push_back(time);
+            live.erase(it);
+            break;
+          }
+          case prep::OpType::Truncate: {
+            auto it = live.find(file);
+            if (it == live.end())
+                break;
+            const auto first_dead = static_cast<std::uint32_t>(
+                blocksCovering(col.length[i]));
+            auto bit = it->second.lower_bound(first_dead);
+            while (bit != it->second.end()) {
+                reference[{file, *bit}].push_back(time);
+                bit = it->second.erase(bit);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    EXPECT_EQ(index.blockCount(), reference.size());
+    for (const auto &[key, times] : reference) {
+        const BlockId id{key.first, key.second};
+        // Probe before the first, between every pair, and after the
+        // last modification.
+        EXPECT_EQ(index.nextModify(id, 0), times.front());
+        for (std::size_t i = 0; i + 1 < times.size(); ++i) {
+            const TimeUs expected = times[i + 1];
+            EXPECT_EQ(index.nextModify(id, times[i]), expected);
+        }
+        EXPECT_EQ(index.nextModify(id, times.back()), kTimeInfinity);
+    }
+    EXPECT_EQ(index.nextModify({kNoFile, 7}, 0), kTimeInfinity);
+}
+
+// Handcrafted stream covering the Delete/Truncate fan-out and the
+// zero-length-write guard of the run-based index.
+TEST(NextModifyIndexDifferential, DeleteAndTruncateFanOut)
+{
+    std::vector<prep::Op> ops;
+    auto push = [&](TimeUs t, prep::OpType type, FileId f, Bytes off,
+                    Bytes len) {
+        prep::Op op;
+        op.time = t;
+        op.type = type;
+        op.file = f;
+        op.offset = off;
+        op.length = len;
+        ops.push_back(op);
+    };
+    using prep::OpType;
+    push(10, OpType::Write, 1, 0, 3 * kBlockSize);      // blocks 0-2
+    push(20, OpType::Write, 1, 6 * kBlockSize, 100);    // block 6
+    push(25, OpType::Write, 1, 0, 0);                   // no blocks
+    push(30, OpType::Truncate, 1, 0, 2 * kBlockSize);   // kills 2, 6
+    push(40, OpType::Write, 1, 2 * kBlockSize, 1);      // block 2 again
+    push(50, OpType::Delete, 1, 0, 0);                  // kills 0,1,2
+    push(60, OpType::Write, 2, kBlockSize - 1, 2);      // blocks 0,1
+
+    prep::OpStream stream;
+    stream.clientCount = 1;
+    stream.ops = std::move(ops);
+    const NextModifyIndex index(stream);
+
+    EXPECT_EQ(index.blockCount(), 6u); // file1: 0,1,2,6; file2: 0,1
+    EXPECT_EQ(index.nextModify({1, 0}, 10), 50u);
+    EXPECT_EQ(index.nextModify({1, 1}, 10), 50u);
+    EXPECT_EQ(index.nextModify({1, 2}, 10), 30u);
+    EXPECT_EQ(index.nextModify({1, 2}, 30), 40u);
+    EXPECT_EQ(index.nextModify({1, 2}, 40), 50u);
+    EXPECT_EQ(index.nextModify({1, 6}, 20), 30u);
+    EXPECT_EQ(index.nextModify({1, 6}, 30), kTimeInfinity);
+    EXPECT_EQ(index.nextModify({2, 0}, 0), 60u);
+    EXPECT_EQ(index.nextModify({2, 1}, 0), 60u);
+    EXPECT_EQ(index.nextModify({2, 2}, 0), kTimeInfinity);
+}
+
+} // namespace
+} // namespace nvfs::core
