@@ -1,7 +1,9 @@
 #include "cache/block_cache.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "util/audit.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -567,6 +569,154 @@ BlockCache::lruOrder() const
         out.push_back(arena_[idx].block.id);
     }
     return out;
+}
+
+void
+BlockCache::auditInvariants() const
+{
+    index_.auditInvariants();
+
+    // Index ↔ arena: every indexed slot in range, unshared, and
+    // holding the block the index says it holds.
+    std::vector<char> live(arena_.size(), 0);
+    index_.forEach([&](const BlockId &id, const std::uint32_t &slot) {
+        NVFS_AUDIT_CHECK(slot < arena_.size(), "BlockCache",
+                         "index maps a block outside the arena");
+        NVFS_AUDIT_CHECK(live[slot] == 0, "BlockCache",
+                         "two index entries share one arena slot");
+        live[slot] = 1;
+        NVFS_AUDIT_CHECK(arena_[slot].block.id == id, "BlockCache",
+                         "arena entry id disagrees with the index");
+    });
+
+    // Per-block dirty state, with a ground-truth recount of the
+    // incremental byte/block counters.
+    Bytes dirty_bytes = 0;
+    std::uint64_t dirty_blocks = 0;
+    for (std::uint32_t slot = 0; slot < arena_.size(); ++slot) {
+        if (live[slot] == 0)
+            continue;
+        const CacheBlock &block = arena_[slot].block;
+        block.dirty.auditInvariants();
+        if (block.isDirty()) {
+            NVFS_AUDIT_CHECK(block.dirty.runs().back().end <= kBlockSize,
+                             "BlockCache",
+                             "dirty range extends past the block");
+            NVFS_AUDIT_CHECK(block.dirtySince != kNoTime, "BlockCache",
+                             "dirty block without a dirtySince stamp");
+            dirty_bytes += block.dirtyBytes();
+            ++dirty_blocks;
+        } else {
+            NVFS_AUDIT_CHECK(block.dirtySince == kNoTime, "BlockCache",
+                             "clean block kept a dirtySince stamp");
+        }
+    }
+    NVFS_AUDIT_CHECK(dirty_bytes == dirtyBytes_, "BlockCache",
+                     "incremental dirty-byte counter diverged");
+    NVFS_AUDIT_CHECK(dirty_blocks == dirtyBlocks_, "BlockCache",
+                     "incremental dirty-block counter diverged");
+
+    // Intrusive lists: every node live, back-links mirroring forward
+    // links, tail matching the last node, no cycles.
+    const auto walkList = [&](const ListHead &list, Link Entry::*link,
+                              const char *name, auto &&visit) {
+        std::uint32_t prev = kNil;
+        std::size_t steps = 0;
+        for (std::uint32_t idx = list.head; idx != kNil;
+             idx = (arena_[idx].*link).next) {
+            NVFS_AUDIT_CHECK(idx < arena_.size() && live[idx] != 0,
+                             "BlockCache",
+                             std::string(name) +
+                                 " list visits a vacant slot");
+            NVFS_AUDIT_CHECK((arena_[idx].*link).prev == prev,
+                             "BlockCache",
+                             std::string(name) + " back-link broken");
+            NVFS_AUDIT_CHECK(++steps <= arena_.size(), "BlockCache",
+                             std::string(name) + " list has a cycle");
+            visit(idx);
+            prev = idx;
+        }
+        NVFS_AUDIT_CHECK(list.tail == prev, "BlockCache",
+                         std::string(name) + " tail pointer stale");
+        return steps;
+    };
+
+    const std::size_t lru_count =
+        walkList(lru_, &Entry::lru, "lru", [](std::uint32_t) {});
+    NVFS_AUDIT_CHECK(lru_count == index_.size(), "BlockCache",
+                     "LRU list does not cover the resident blocks");
+
+    TimeUs prev_since = 0;
+    const std::size_t dirty_count = walkList(
+        dirtyOrder_, &Entry::dirty, "dirty", [&](std::uint32_t idx) {
+            const CacheBlock &block = arena_[idx].block;
+            NVFS_AUDIT_CHECK(block.isDirty(), "BlockCache",
+                             "clean block on the dirty list");
+            NVFS_AUDIT_CHECK(block.dirtySince >= prev_since,
+                             "BlockCache",
+                             "dirty list not ordered by dirtySince");
+            prev_since = block.dirtySince;
+        });
+    NVFS_AUDIT_CHECK(dirty_count == dirtyBlocks_, "BlockCache",
+                     "dirty list does not cover the dirty blocks");
+
+    if (cleanTracking_) {
+        // The clean list must be exactly the clean subsequence of the
+        // LRU, in the same order.
+        std::vector<std::uint32_t> expect;
+        for (std::uint32_t idx = lru_.head; idx != kNil;
+             idx = arena_[idx].lru.next) {
+            if (!arena_[idx].block.isDirty())
+                expect.push_back(idx);
+        }
+        std::vector<std::uint32_t> actual;
+        walkList(cleanLru_, &Entry::clean, "clean",
+                 [&](std::uint32_t idx) { actual.push_back(idx); });
+        NVFS_AUDIT_CHECK(actual == expect, "BlockCache",
+                         "clean list is not the clean subsequence of "
+                         "the LRU order");
+    }
+
+    // Freelist: vacant slots only, each once, and together with the
+    // live slots accounting for the whole arena.
+    std::size_t free_count = 0;
+    for (std::uint32_t idx = freeHead_; idx != kNil;
+         idx = arena_[idx].nextFree) {
+        NVFS_AUDIT_CHECK(idx < arena_.size(), "BlockCache",
+                         "freelist points outside the arena");
+        NVFS_AUDIT_CHECK(live[idx] != 2, "BlockCache",
+                         "freelist visits a slot twice (cycle)");
+        NVFS_AUDIT_CHECK(live[idx] == 0, "BlockCache",
+                         "freelist holds a resident slot");
+        live[idx] = 2;
+        ++free_count;
+    }
+    NVFS_AUDIT_CHECK(index_.size() + free_count == arena_.size(),
+                     "BlockCache",
+                     "arena slots leaked (neither resident nor free)");
+
+    NVFS_AUDIT_CHECK(orderedHint_ == kNil ||
+                         (orderedHint_ < arena_.size() &&
+                          live[orderedHint_] == 1),
+                     "BlockCache",
+                     "ordered-insert hint points at a vacant slot");
+
+    // Extents ↔ index: same population (the count match plus the
+    // per-block probe below make it a bijection), same slots.
+    const std::size_t extent_entries = extents_.auditInvariants();
+    NVFS_AUDIT_CHECK(extent_entries == index_.size(), "BlockCache",
+                     "extent index population diverged from the "
+                     "block index");
+    index_.forEach([&](const BlockId &id, const std::uint32_t &slot) {
+        bool found = false;
+        extents_.forEachInRange(id.file, id.index, id.index,
+                                [&](std::uint32_t, std::uint32_t s) {
+                                    found = s == slot;
+                                });
+        NVFS_AUDIT_CHECK(found, "BlockCache",
+                         "extent index missing or mismapping a "
+                         "resident block");
+    });
 }
 
 } // namespace nvfs::cache

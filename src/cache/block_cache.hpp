@@ -300,7 +300,20 @@ class BlockCache
     /** The policy in use. */
     PolicyKind policyKind() const { return policy_->kind(); }
 
+    /**
+     * Full structural audit (nvfs::check): index ↔ arena ↔ extent
+     * cross-consistency, intrusive-list link soundness (LRU, dirty
+     * order, clean subsequence, freelist), per-block dirty-state
+     * sanity, and the incremental dirty-byte/dirty-block counters
+     * against a ground-truth rescan.  O(n log n) in resident blocks —
+     * a diagnostic sweep, not a hot path.  Throws util::AuditError.
+     */
+    void auditInvariants() const;
+
   private:
+    /** Test-only peer that corrupts internals to prove audits fire. */
+    friend class AuditTestPeer;
+
     /** Arena-index sentinel: "no entry" / list end. */
     static constexpr std::uint32_t kNil = 0xffffffffu;
 

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/audit.hpp"
 #include "util/flat_map.hpp"
 #include "util/log.hpp"
 #include "util/types.hpp"
@@ -192,6 +193,35 @@ class ExtentIndex
             return;
         for (std::size_t pos = fx->begin; pos < fx->v.size(); ++pos)
             fn(fx->v[pos].block, fx->v[pos].slot);
+    }
+
+    /**
+     * Structural audit (nvfs::check): the underlying file map sound,
+     * no file retained without live entries, every file's live region
+     * sorted by strictly increasing block, and the front gap inside
+     * the vector.  Returns the total live (block, slot) entry count so
+     * the owning cache can cross-check it against its resident-block
+     * population.  Throws AuditError on violation.
+     */
+    std::size_t
+    auditInvariants() const
+    {
+        files_.auditInvariants();
+        std::size_t total = 0;
+        files_.forEach([&](FileId, const FileExtents &fx) {
+            NVFS_AUDIT_CHECK(fx.begin < fx.v.size(), "ExtentIndex",
+                             "file retained with no live entries "
+                             "(front gap swallowed the vector)");
+            for (std::size_t pos = fx.begin; pos < fx.v.size(); ++pos) {
+                NVFS_AUDIT_CHECK(
+                    pos == fx.begin ||
+                        fx.v[pos - 1].block < fx.v[pos].block,
+                    "ExtentIndex",
+                    "live entries not strictly increasing by block");
+                ++total;
+            }
+        });
+        return total;
     }
 
   private:

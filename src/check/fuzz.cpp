@@ -1,0 +1,341 @@
+#include "check/fuzz.hpp"
+
+#include <chrono>
+#include <exception>
+#include <sstream>
+#include <vector>
+
+#include "core/client/cluster_sim.hpp"
+#include "util/audit.hpp"
+#include "util/rng.hpp"
+
+namespace nvfs::check {
+
+using core::ClusterConfig;
+using core::ClusterSim;
+using core::Metrics;
+using core::ModelKind;
+using prep::Op;
+using prep::OpStream;
+using prep::OpType;
+
+namespace {
+
+/** Open file handle the generator still owes a Close for. */
+struct OpenHandle
+{
+    ClientId client;
+    ProcId pid;
+    FileId file;
+};
+
+constexpr ModelKind kModels[] = {ModelKind::Volatile,
+                                 ModelKind::WriteAside,
+                                 ModelKind::Unified};
+
+/**
+ * One simulation leg.  Audits (util::AuditError) and simulator
+ * invariant panics (util::PanicError via NVFS_REQUIRE) both count as
+ * failures; anything escaping run() is folded into the description.
+ */
+std::optional<Metrics>
+runOne(const OpStream &ops, ModelKind kind, bool extent,
+       const FuzzConfig &config, std::string &error)
+{
+    ClusterConfig cluster;
+    cluster.model.kind = kind;
+    cluster.model.volatileBytes = config.volatileBytes;
+    cluster.model.nvramBytes = config.nvramBytes;
+    cluster.model.extentOps = extent;
+    cluster.seed = config.seed; // same replacement stream both legs
+    cluster.auditEvery = config.auditEvery;
+    try {
+        ClusterSim sim(cluster, ops.clientCount);
+        return sim.run(ops);
+    } catch (const std::exception &e) {
+        std::ostringstream out;
+        out << core::modelKindName(kind) << "/"
+            << (extent ? "extent" : "legacy") << ": " << e.what();
+        error = out.str();
+        return std::nullopt;
+    }
+}
+
+/** Rebuild a stream from a row-wise op vector (shrink candidates). */
+OpStream
+makeStream(const std::vector<Op> &rows, std::uint32_t client_count)
+{
+    OpStream stream;
+    stream.clientCount = client_count;
+    stream.ops.reserve(rows.size());
+    for (const Op &op : rows)
+        stream.ops.push_back(op);
+    if (!rows.empty())
+        stream.duration = rows.back().time;
+    return stream;
+}
+
+/** Row-wise copy of a stream (shrink working set). */
+std::vector<Op>
+toRows(const OpStream &stream)
+{
+    std::vector<Op> rows;
+    rows.reserve(stream.ops.size());
+    for (std::size_t i = 0; i < stream.ops.size(); ++i)
+        rows.push_back(stream.ops[i]);
+    return rows;
+}
+
+/**
+ * Delta-debugging shrink: repeatedly drop chunks (halving the chunk
+ * size down to single ops) while the failure keeps reproducing.
+ * Removing ops cannot break stream validity — timestamps stay sorted
+ * and ids stay in range — so every candidate is a legal input.
+ */
+std::vector<Op>
+shrinkOps(std::vector<Op> rows, std::uint32_t client_count,
+          const FuzzConfig &config, std::string &what)
+{
+    // Each probe replays six simulations; keep the budget bounded.
+    std::size_t probes_left = 400;
+    std::size_t chunk = rows.size() / 2;
+    if (chunk == 0)
+        chunk = 1;
+    while (probes_left > 0) {
+        bool removed = false;
+        for (std::size_t start = 0;
+             start < rows.size() && probes_left > 0;) {
+            const std::size_t end =
+                std::min(rows.size(), start + chunk);
+            std::vector<Op> candidate;
+            candidate.reserve(rows.size() - (end - start));
+            candidate.insert(candidate.end(), rows.begin(),
+                             rows.begin() +
+                                 static_cast<std::ptrdiff_t>(start));
+            candidate.insert(candidate.end(),
+                             rows.begin() +
+                                 static_cast<std::ptrdiff_t>(end),
+                             rows.end());
+            --probes_left;
+            const auto failure = runDifferential(
+                makeStream(candidate, client_count), config);
+            if (failure.has_value()) {
+                rows = std::move(candidate);
+                what = *failure;
+                removed = true; // retry same position, new content
+            } else {
+                start = end;
+            }
+        }
+        if (chunk == 1 && !removed)
+            break;
+        if (chunk > 1)
+            chunk = (chunk + 1) / 2;
+    }
+    return rows;
+}
+
+} // namespace
+
+OpStream
+generateOps(const FuzzConfig &config, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    OpStream stream;
+    stream.clientCount = config.clients;
+    std::vector<OpenHandle> open;
+    TimeUs now = 0;
+
+    const auto random_client = [&] {
+        return static_cast<ClientId>(
+            rng.uniformInt(0, config.clients - 1));
+    };
+    const auto random_file = [&] {
+        return static_cast<FileId>(rng.uniformInt(1, config.files));
+    };
+    // Mostly block-aligned ranges with a partial-block tail mixed in,
+    // clustered near file start so streams actually collide.
+    const auto random_offset = [&] {
+        Bytes offset = rng.uniformInt(0, 96) * kBlockSize;
+        if (rng.chance(0.3))
+            offset += rng.uniformInt(0, kBlockSize - 1);
+        return offset;
+    };
+    const auto random_length = [&]() -> Bytes {
+        if (rng.chance(0.25))
+            return rng.uniformInt(1, kBlockSize);
+        return rng.uniformInt(1, 16) * kBlockSize;
+    };
+
+    for (std::size_t i = 0; i < config.opsPerRun; ++i) {
+        // Mostly bursts at the same instant; occasionally jump far
+        // enough to trigger write-back sweeps (5 s) and age-out
+        // flushes (30 s).
+        if (rng.chance(0.4))
+            now += rng.uniformInt(0, kUsPerSecond / 5);
+        if (rng.chance(0.02))
+            now += rng.uniformInt(1, 40) * kUsPerSecond;
+
+        Op op;
+        op.time = now;
+        op.client = random_client();
+        op.pid = static_cast<ProcId>(op.client * 4 +
+                                     rng.uniformInt(0, 3));
+        op.file = random_file();
+
+        const std::uint64_t roll = rng.uniformInt(0, 99);
+        if (roll < 30) {
+            op.type = OpType::Read;
+            op.offset = random_offset();
+            op.length = random_length();
+        } else if (roll < 70) {
+            op.type = OpType::Write;
+            op.offset = random_offset();
+            op.length = random_length();
+        } else if (roll < 78) {
+            op.type = OpType::Fsync;
+        } else if (roll < 82) {
+            op.type = OpType::Delete;
+        } else if (roll < 86) {
+            op.type = OpType::Truncate;
+            op.length = rng.uniformInt(0, 64) * kBlockSize;
+        } else if (roll < 93) {
+            op.type = OpType::Open;
+            op.openForRead = true;
+            op.openForWrite = rng.chance(0.5);
+            open.push_back({op.client, op.pid, op.file});
+        } else if (roll < 97 && !open.empty()) {
+            const std::size_t pick =
+                rng.uniformInt(0, open.size() - 1);
+            const OpenHandle handle = open[pick];
+            open[pick] = open.back();
+            open.pop_back();
+            op.type = OpType::Close;
+            op.client = handle.client;
+            op.pid = handle.pid;
+            op.file = handle.file;
+        } else {
+            op.type = OpType::Migrate;
+            op.targetClient = random_client();
+        }
+        stream.ops.push_back(op);
+    }
+
+    // Balance the books: close what is still open, then End.
+    for (const OpenHandle &handle : open) {
+        Op op;
+        op.time = now;
+        op.type = OpType::Close;
+        op.client = handle.client;
+        op.pid = handle.pid;
+        op.file = handle.file;
+        stream.ops.push_back(op);
+    }
+    Op end;
+    end.time = now;
+    end.type = OpType::End;
+    stream.ops.push_back(end);
+    stream.duration = now;
+    return stream;
+}
+
+std::optional<std::string>
+runDifferential(const OpStream &ops, const FuzzConfig &config)
+{
+    for (ModelKind kind : kModels) {
+        std::string error;
+        const auto extent = runOne(ops, kind, true, config, error);
+        if (!extent.has_value())
+            return error;
+        const auto legacy = runOne(ops, kind, false, config, error);
+        if (!legacy.has_value())
+            return error;
+        if (!(*extent == *legacy)) {
+            std::ostringstream out;
+            out << core::modelKindName(kind)
+                << ": extent and legacy engines disagree"
+                << " (appWrite " << extent->appWriteBytes << " vs "
+                << legacy->appWriteBytes << ", serverRead "
+                << extent->serverReadBytes << " vs "
+                << legacy->serverReadBytes << ", bus "
+                << extent->busBytes << " vs " << legacy->busBytes
+                << ")";
+            return out.str();
+        }
+    }
+    return std::nullopt;
+}
+
+FuzzResult
+fuzz(const FuzzConfig &config, std::size_t runs)
+{
+    FuzzResult result;
+    const auto start = std::chrono::steady_clock::now();
+    const auto expired = [&] {
+        if (config.maxSeconds <= 0.0)
+            return false;
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        return elapsed.count() >= config.maxSeconds;
+    };
+
+    for (std::size_t run = 0; run < runs && !expired(); ++run) {
+        const std::uint64_t seed = config.seed + run;
+        FuzzConfig run_config = config;
+        run_config.seed = seed;
+        const OpStream ops = generateOps(run_config, seed);
+        auto failure = runDifferential(ops, run_config);
+        result.opsExecuted += ops.ops.size();
+        if (!failure.has_value()) {
+            ++result.runs;
+            continue;
+        }
+        FuzzFailure found;
+        found.seed = seed;
+        found.what = *failure;
+        found.originalOps = ops.ops.size();
+        std::vector<Op> rows = toRows(ops);
+        if (config.shrink) {
+            rows = shrinkOps(std::move(rows), ops.clientCount,
+                             run_config, found.what);
+        }
+        found.ops = makeStream(rows, ops.clientCount);
+        result.failure = std::move(found);
+        break;
+    }
+    return result;
+}
+
+std::string
+describeOps(const OpStream &ops)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < ops.ops.size(); ++i) {
+        const Op op = ops.ops[i];
+        out << i << ": t=" << op.time << " "
+            << prep::opTypeName(op.type)
+            << " file=" << op.file << " client=" << op.client
+            << " pid=" << op.pid;
+        switch (op.type) {
+          case OpType::Read:
+          case OpType::Write:
+            out << " off=" << op.offset << " len=" << op.length;
+            break;
+          case OpType::Truncate:
+            out << " len=" << op.length;
+            break;
+          case OpType::Open:
+            out << (op.openForWrite ? " rw" : " ro");
+            break;
+          case OpType::Migrate:
+            out << " target=" << op.targetClient;
+            break;
+          default:
+            break;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace nvfs::check

@@ -144,6 +144,14 @@ class ClientModel
      */
     virtual void crash(TimeUs now) = 0;
 
+    /**
+     * Structural audit (nvfs::check): the model's cache memories plus
+     * its own cross-memory invariants (residency disjointness, NVRAM
+     * shadowing).  Throws util::AuditError on violation — catchable,
+     * unlike the NVFS_REQUIRE panics on the hot paths.
+     */
+    virtual void auditInvariants() const = 0;
+
   protected:
     /** Bytes a whole-block transfer of `id` moves (clipped at EOF). */
     Bytes blockTransferBytes(const cache::BlockId &id) const;

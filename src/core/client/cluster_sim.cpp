@@ -1,7 +1,9 @@
 #include "core/client/cluster_sim.hpp"
 
 #include <algorithm>
+#include <limits>
 
+#include "util/env.hpp"
 #include "util/log.hpp"
 
 namespace nvfs::core {
@@ -13,6 +15,12 @@ ClusterSim::ClusterSim(const ClusterConfig &config,
     : config_(config), rng_(config.seed)
 {
     NVFS_REQUIRE(client_count > 0, "need at least one client");
+    auditEvery_ =
+        config_.auditEvery != 0
+            ? config_.auditEvery
+            : static_cast<std::uint64_t>(util::envInt(
+                  "NVFS_AUDIT", 0, 0,
+                  std::numeric_limits<std::int64_t>::max()));
     clients_.reserve(client_count);
     for (std::uint32_t i = 0; i < client_count; ++i) {
         clients_.push_back(makeClientModel(config_.model, metrics_,
@@ -249,6 +257,13 @@ ClusterSim::run(const prep::OpStream &ops)
           }
           case OpType::End:
             break;
+        }
+
+        // nvfs::check: sweep every model's invariants each N ops.
+        if (auditEvery_ != 0 && ++opsSinceAudit_ >= auditEvery_) {
+            opsSinceAudit_ = 0;
+            for (const auto &client : clients_)
+                client->auditInvariants();
         }
     }
 

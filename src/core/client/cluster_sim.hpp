@@ -46,6 +46,14 @@ struct ClusterConfig
      * contents are lost, NVRAM contents are recovered.
      */
     std::vector<std::pair<TimeUs, ClientId>> crashes;
+
+    /**
+     * nvfs::check: audit every client model's invariants after this
+     * many dispatched ops (0 = take the interval from the NVFS_AUDIT
+     * environment variable; unset there too means never).  Audits
+     * throw util::AuditError, which propagates out of run().
+     */
+    std::uint64_t auditEvery = 0;
 };
 
 /** Replays one trace. */
@@ -79,6 +87,9 @@ class ClusterSim
     util::FlatMap<FileId, ClientId, util::SplitMix64Hash> dirtyOwner_;
     std::size_t nextCrash_ = 0;
     TimeUs lastSweep_ = 0;
+    /** Resolved audit interval (0 = audits off). */
+    std::uint64_t auditEvery_ = 0;
+    std::uint64_t opsSinceAudit_ = 0;
 };
 
 } // namespace nvfs::core

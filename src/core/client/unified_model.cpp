@@ -1,5 +1,6 @@
 #include "core/client/unified_model.hpp"
 
+#include "util/audit.hpp"
 #include "util/log.hpp"
 
 namespace nvfs::core {
@@ -380,15 +381,25 @@ UnifiedModel::finish(TimeUs now)
 }
 
 void
+UnifiedModel::auditInvariants() const
+{
+    volatile_.auditInvariants();
+    nvram_.auditInvariants();
+    for (const cache::BlockId &id : nvram_.allBlocks()) {
+        NVFS_AUDIT_CHECK(!volatile_.contains(id), "UnifiedModel",
+                         "block resident in both memories");
+    }
+    NVFS_AUDIT_CHECK(volatile_.dirtyBlockCount() == 0, "UnifiedModel",
+                     "dirty block outside the NVRAM");
+}
+
+void
 UnifiedModel::checkInvariants() const
 {
-    for (const cache::BlockId &id : nvram_.allBlocks()) {
-        NVFS_REQUIRE(!volatile_.contains(id),
-                     "block resident in both memories");
-    }
-    for (const cache::BlockId &id : volatile_.allDirtyBlocks()) {
-        (void)id;
-        NVFS_REQUIRE(false, "dirty block outside the NVRAM");
+    try {
+        auditInvariants();
+    } catch (const util::AuditError &error) {
+        util::panic(error.what());
     }
 }
 

@@ -46,6 +46,9 @@ class UnifiedModel : public ClientModel
     const cache::BlockCache &volatileCache() const { return volatile_; }
     const cache::BlockCache &nvramCache() const { return nvram_; }
 
+    /** Throwing audit: cache structure + residency disjointness. */
+    void auditInvariants() const override;
+
     /** Panics if a block is resident in both memories. */
     void checkInvariants() const;
 

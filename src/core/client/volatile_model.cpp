@@ -357,4 +357,10 @@ VolatileModel::finish(TimeUs now)
         flushBlock(id, WriteCause::EndOfTrace, now);
 }
 
+void
+VolatileModel::auditInvariants() const
+{
+    cache_.auditInvariants();
+}
+
 } // namespace nvfs::core

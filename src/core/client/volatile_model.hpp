@@ -40,6 +40,7 @@ class VolatileModel : public ClientModel
     void finish(TimeUs now) override;
     void crash(TimeUs now) override;
     Bytes dirtyBytes() const override { return cache_.dirtyBytes(); }
+    void auditInvariants() const override;
 
     /** Resident blocks (tests). */
     const cache::BlockCache &cache() const { return cache_; }

@@ -1,5 +1,6 @@
 #include "core/client/write_aside_model.hpp"
 
+#include "util/audit.hpp"
 #include "util/log.hpp"
 
 namespace nvfs::core {
@@ -394,20 +395,34 @@ WriteAsideModel::finish(TimeUs now)
 }
 
 void
-WriteAsideModel::checkInvariants() const
+WriteAsideModel::auditInvariants() const
 {
+    volatile_.auditInvariants();
+    nvram_.auditInvariants();
     // Every NVRAM block is dirty and has a dirty volatile duplicate.
     for (const cache::BlockId &id : nvram_.allBlocks()) {
-        NVFS_REQUIRE(nvram_.peek(id)->isDirty(),
-                     "clean block in write-aside NVRAM");
+        NVFS_AUDIT_CHECK(nvram_.peek(id)->isDirty(), "WriteAsideModel",
+                         "clean block in write-aside NVRAM");
         const cache::CacheBlock *shadow = volatile_.peek(id);
-        NVFS_REQUIRE(shadow != nullptr && shadow->isDirty(),
-                     "NVRAM block without dirty volatile duplicate");
+        NVFS_AUDIT_CHECK(shadow != nullptr && shadow->isDirty(),
+                         "WriteAsideModel",
+                         "NVRAM block without dirty volatile "
+                         "duplicate");
     }
     // Every dirty volatile block is protected by NVRAM.
     for (const cache::BlockId &id : volatile_.allDirtyBlocks()) {
-        NVFS_REQUIRE(nvram_.contains(id),
-                     "dirty volatile block missing from NVRAM");
+        NVFS_AUDIT_CHECK(nvram_.contains(id), "WriteAsideModel",
+                         "dirty volatile block missing from NVRAM");
+    }
+}
+
+void
+WriteAsideModel::checkInvariants() const
+{
+    try {
+        auditInvariants();
+    } catch (const util::AuditError &error) {
+        util::panic(error.what());
     }
 }
 

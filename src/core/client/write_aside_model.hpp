@@ -45,6 +45,9 @@ class WriteAsideModel : public ClientModel
     const cache::BlockCache &volatileCache() const { return volatile_; }
     const cache::BlockCache &nvramCache() const { return nvram_; }
 
+    /** Throwing audit: cache structure + the mirroring invariant. */
+    void auditInvariants() const override;
+
     /** Panics if the NVRAM/volatile mirroring invariant is broken. */
     void checkInvariants() const;
 

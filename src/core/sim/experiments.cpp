@@ -13,6 +13,7 @@
 #include "prep/op_cache.hpp"
 #include "trace/codec.hpp"
 #include "trace/validate.hpp"
+#include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 #include "workload/generator.hpp"
@@ -313,21 +314,9 @@ runEndToEnd(const prep::OpStream &ops, const ModelConfig &model,
 double
 benchScale()
 {
-    const char *env = std::getenv("NVFS_SCALE");
-    if (env == nullptr)
-        return 1.0;
-    char *end = nullptr;
-    errno = 0;
-    const double scale = std::strtod(env, &end);
-    if (errno != 0 || end == env || *end != '\0' ||
-        !std::isfinite(scale) || scale <= 0.0) {
-        util::warn(util::format(
-            "NVFS_SCALE='%s' is not a valid scale; using 1.0 "
-            "(accepted: a finite real > 0, typically 0.01-1.0)",
-            env));
-        return 1.0;
-    }
-    return scale;
+    // A zero/negative scale would make every workload degenerate, so
+    // the accepted range starts just above zero.
+    return util::envDouble("NVFS_SCALE", 1.0, 1e-6, 1e6);
 }
 
 } // namespace nvfs::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "nvram/fault.hpp"
+#include "util/audit.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -135,9 +137,32 @@ LfsLog::seal(SealCause cause)
         return false;
     }
 
+    nvram::SealFault fault = nvram::SealFault::None;
+    if (faults_ != nullptr)
+        fault = faults_->onSeal();
+    if (fault == nvram::SealFault::PowerFail) {
+        // Power died before the write began: the disk is untouched
+        // and the open segment's volatile contents are gone.
+        faultFired_ = true;
+        pending_.clear();
+        pendingIndex_.clear();
+        pendingFiles_.clear();
+        pendingData_ = 0;
+        pendingJournal_.clear();
+        return false;
+    }
+
     Segment segment;
     segment.id = static_cast<std::uint32_t>(segments_.size());
     segment.cause = cause;
+    if (fault == nvram::SealFault::Torn) {
+        // The write is issued and the in-memory state proceeds as if
+        // it succeeded — the pre-crash host cannot tell — but the
+        // summary block never hits the disk, so recovery will treat
+        // the log as ending at this segment.
+        segment.torn = true;
+        faultFired_ = true;
+    }
 
     for (const PendingBlock &pb : pending_) {
         const SegmentAddress address{
@@ -237,17 +262,21 @@ LfsLog::truncate(FileId file, Bytes new_size)
     const auto first_dead = static_cast<std::uint32_t>(
         blocksCovering(new_size));
     // Pending blocks beyond the new size die before reaching disk.
-    bool touched = false;
-    std::vector<PendingBlock> kept;
-    kept.reserve(pending_.size());
-    for (PendingBlock &pb : pending_) {
-        if (pb.file == file && pb.block >= first_dead) {
-            touched = true;
-            continue;
-        }
-        kept.push_back(std::move(pb));
-    }
+    // Decide before moving anything: an unconditional move here used
+    // to gut the surviving blocks' range sets whenever the truncated
+    // file had nothing pending (the moved-into vector was discarded).
+    const bool touched = std::any_of(
+        pending_.begin(), pending_.end(), [&](const PendingBlock &pb) {
+            return pb.file == file && pb.block >= first_dead;
+        });
     if (touched) {
+        std::vector<PendingBlock> kept;
+        kept.reserve(pending_.size());
+        for (PendingBlock &pb : pending_) {
+            if (pb.file == file && pb.block >= first_dead)
+                continue;
+            kept.push_back(std::move(pb));
+        }
         pending_ = std::move(kept);
         pendingIndex_.clear();
         pendingFiles_.clear();
@@ -317,27 +346,145 @@ LfsLog::reclaim(std::uint32_t segment_id)
 }
 
 void
-LfsLog::checkInvariants() const
+LfsLog::auditInvariants() const
 {
-    // Every inode-map address must point at a live data entry with the
-    // right identity, and per-segment live bytes must sum correctly.
-    std::vector<Bytes> live(segments_.size(), 0);
-    for (const Segment &segment : segments_) {
-        for (const SegmentEntry &entry : segment.entries) {
-            if (entry.kind == EntryKind::Data && entry.live)
-                live[segment.id] += entry.bytes;
-        }
-    }
+    // --- Segments: identity, per-kind byte sums, live accounting. ---
+    Bytes all_data = 0;
+    Bytes all_metadata = 0;
+    Bytes all_summary = 0;
+    std::size_t live_entries = 0;
     for (std::size_t i = 0; i < segments_.size(); ++i) {
-        NVFS_REQUIRE(live[i] == segments_[i].liveBytes,
-                     "segment live-byte accounting diverged");
+        const Segment &segment = segments_[i];
+        NVFS_AUDIT_CHECK(segment.id == i, "LfsLog",
+                         "segment id does not match its position");
+        all_data += segment.dataBytes;
+        all_metadata += segment.metadataBytes;
+        all_summary += segment.summaryBytes;
+        if (segment.reclaimed) {
+            NVFS_AUDIT_CHECK(segment.entries.empty(), "LfsLog",
+                             "reclaimed segment kept its entries");
+            NVFS_AUDIT_CHECK(segment.liveBytes == 0, "LfsLog",
+                             "reclaimed segment reports live bytes");
+            continue;
+        }
+        Bytes data = 0;
+        Bytes metadata = 0;
+        Bytes summary = 0;
+        Bytes live = 0;
+        for (std::size_t slot = 0; slot < segment.entries.size();
+             ++slot) {
+            const SegmentEntry &entry = segment.entries[slot];
+            switch (entry.kind) {
+              case EntryKind::Data:
+                data += entry.bytes;
+                if (entry.live) {
+                    live += entry.bytes;
+                    ++live_entries;
+                    // The inode map must name this copy as current.
+                    const SegmentAddress here{
+                        segment.id, static_cast<std::uint32_t>(slot)};
+                    const auto located =
+                        inodes_.locate(entry.file, entry.blockIndex);
+                    NVFS_AUDIT_CHECK(
+                        located.has_value() && *located == here,
+                        "LfsLog",
+                        "live data entry not current in the inode "
+                        "map (stale liveness)");
+                }
+                break;
+              case EntryKind::Metadata:
+                metadata += entry.bytes;
+                break;
+              case EntryKind::Summary:
+                summary += entry.bytes;
+                break;
+            }
+        }
+        NVFS_AUDIT_CHECK(data == segment.dataBytes, "LfsLog",
+                         "segment data-byte total diverged");
+        NVFS_AUDIT_CHECK(metadata == segment.metadataBytes, "LfsLog",
+                         "segment metadata-byte total diverged");
+        NVFS_AUDIT_CHECK(summary == segment.summaryBytes, "LfsLog",
+                         "segment summary-byte total diverged");
+        NVFS_AUDIT_CHECK(live == segment.liveBytes, "LfsLog",
+                         "segment live-byte accounting diverged");
     }
 
+    // Every live data entry resolves to its inode-map address above;
+    // equal populations make the correspondence a bijection (no
+    // inode-map entry can point at a dead or missing copy).
+    NVFS_AUDIT_CHECK(live_entries == inodes_.blockCount(), "LfsLog",
+                     "inode map population diverged from live "
+                     "segment entries");
+
+    // --- Active-segment bookkeeping. ---
+    NVFS_AUDIT_CHECK(activeIds_.size() == active_, "LfsLog",
+                     "active counter diverged from the active set");
+    for (const std::uint32_t id : activeIds_) {
+        NVFS_AUDIT_CHECK(id < segments_.size(), "LfsLog",
+                         "active set names an unknown segment");
+        NVFS_AUDIT_CHECK(!segments_[id].reclaimed, "LfsLog",
+                         "active set names a reclaimed segment");
+    }
+    for (const Segment &segment : segments_) {
+        NVFS_AUDIT_CHECK(segment.reclaimed ||
+                             activeIds_.count(segment.id) == 1,
+                         "LfsLog",
+                         "sealed unreclaimed segment missing from "
+                         "the active set");
+    }
+
+    // --- Pending (open-segment) state. ---
     Bytes pending_total = 0;
-    for (const PendingBlock &pb : pending_)
+    std::map<FileId, int> file_counts;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const PendingBlock &pb = pending_[i];
+        pb.ranges.auditInvariants();
+        NVFS_AUDIT_CHECK(!pb.ranges.empty(), "LfsLog",
+                         "pending block with no dirty bytes");
+        NVFS_AUDIT_CHECK(pb.ranges.runs().back().end <=
+                             config_.blockBytes,
+                         "LfsLog",
+                         "pending dirty range extends past the block");
         pending_total += pb.bytes();
-    NVFS_REQUIRE(pending_total == pendingData_,
-                 "pending byte accounting diverged");
+        ++file_counts[pb.file];
+        const auto it = pendingIndex_.find({pb.file, pb.block});
+        NVFS_AUDIT_CHECK(it != pendingIndex_.end() && it->second == i,
+                         "LfsLog",
+                         "pending index does not name the pending "
+                         "block's position");
+    }
+    NVFS_AUDIT_CHECK(pendingIndex_.size() == pending_.size(), "LfsLog",
+                     "pending index population diverged");
+    NVFS_AUDIT_CHECK(pending_total == pendingData_, "LfsLog",
+                     "pending byte accounting diverged");
+    NVFS_AUDIT_CHECK(file_counts == pendingFiles_, "LfsLog",
+                     "pending per-file counts diverged");
+
+    // --- Cumulative stats vs. the segments actually sealed. ---
+    NVFS_AUDIT_CHECK(stats_.segmentsWritten == segments_.size(),
+                     "LfsLog",
+                     "segmentsWritten diverged from the log");
+    NVFS_AUDIT_CHECK(stats_.dataBytes == all_data, "LfsLog",
+                     "cumulative data-byte stat diverged");
+    NVFS_AUDIT_CHECK(stats_.metadataBytes == all_metadata, "LfsLog",
+                     "cumulative metadata-byte stat diverged");
+    NVFS_AUDIT_CHECK(stats_.summaryBytes == all_summary, "LfsLog",
+                     "cumulative summary-byte stat diverged");
+
+    // journals_ is kept exactly one slot per sealed segment.
+    NVFS_AUDIT_CHECK(journals_.size() == segments_.size(), "LfsLog",
+                     "journal store diverged from the segment count");
+}
+
+void
+LfsLog::checkInvariants() const
+{
+    try {
+        auditInvariants();
+    } catch (const util::AuditError &error) {
+        util::panic(error.what());
+    }
 }
 
 } // namespace nvfs::lfs

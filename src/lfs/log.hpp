@@ -24,6 +24,10 @@
 #include "lfs/segment.hpp"
 #include "util/interval_set.hpp"
 
+namespace nvfs::nvram {
+class FaultPlan;
+}
+
 namespace nvfs::lfs {
 
 /**
@@ -159,10 +163,37 @@ class LfsLog
         return activeIds_;
     }
 
+    // ---- Fault injection (nvfs::check) -------------------------------
+
+    /**
+     * Attach a fault plan; nullptr detaches.  Not owned — the caller
+     * keeps it alive for the log's lifetime.  The plan is consulted
+     * once per segment write: a torn seal completes in memory (the
+     * pre-crash host believes the write succeeded) but marks the
+     * segment torn so recovery stops there; a power-fail aborts the
+     * write and drops the open segment's volatile contents.
+     */
+    void setFaultPlan(nvram::FaultPlan *plan) { faults_ = plan; }
+
+    /** True once an injected seal fault has fired on this log. */
+    bool faultFired() const { return faultFired_; }
+
+    /**
+     * Full structural audit (nvfs::check): segment entry/byte
+     * accounting, inode-map ↔ live-entry bijection, active-segment
+     * bookkeeping, pending-set cross-consistency, and cumulative
+     * LogStats byte totals against a ground-truth rescan.  Throws
+     * util::AuditError on violation.
+     */
+    void auditInvariants() const;
+
     /** Check internal consistency (tests); panics on violation. */
     void checkInvariants() const;
 
   private:
+    /** Test-only peer that corrupts internals to prove audits fire. */
+    friend class AuditTestPeer;
+
     struct PendingBlock
     {
         FileId file;
@@ -196,6 +227,9 @@ class LfsLog
     std::vector<JournalRecord> pendingJournal_;
     /** Per-segment persisted journals, indexed by segment id. */
     std::vector<std::vector<JournalRecord>> journals_;
+
+    nvram::FaultPlan *faults_ = nullptr;
+    bool faultFired_ = false;
 };
 
 } // namespace nvfs::lfs

@@ -17,6 +17,14 @@ rollForward(const LfsLog &log, const Checkpoint *checkpoint)
     const auto &segments = log.segments();
     for (std::uint32_t id = first; id < segments.size(); ++id) {
         const Segment &segment = segments[id];
+        if (segment.torn) {
+            // The summary block — the only description of the
+            // segment's contents — never reached the disk, so neither
+            // this segment nor anything after it can be parsed.  The
+            // log ends here.
+            result.stoppedAtTornSegment = true;
+            break;
+        }
         ++result.segmentsReplayed;
 
         // Final location of each (file, block) within this segment.

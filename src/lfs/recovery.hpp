@@ -19,6 +19,10 @@ struct RecoveryResult
     std::uint32_t segmentsReplayed = 0;
     std::uint64_t blocksRecovered = 0;
     std::uint64_t metaOpsReplayed = 0;
+    /** Roll-forward hit a torn segment (its summary never reached the
+     *  disk) and stopped there: that segment and everything the host
+     *  believed it wrote afterwards are lost. */
+    bool stoppedAtTornSegment = false;
 };
 
 /**

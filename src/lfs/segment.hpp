@@ -66,6 +66,10 @@ struct Segment
     Bytes summaryBytes = 0;  ///< the trailing summary block
     Bytes liveBytes = 0;     ///< data bytes still referenced
     bool reclaimed = false;  ///< freed by the cleaner
+    /** Fault injection: the write was interrupted before the summary
+     *  block hit the disk.  The summary is what makes the segment
+     *  parseable, so recovery treats the log as ending here. */
+    bool torn = false;
 
     /** Total on-disk footprint. */
     Bytes

@@ -1,5 +1,6 @@
 #include "nvram/device.hpp"
 
+#include "nvram/fault.hpp"
 #include "util/log.hpp"
 
 namespace nvfs::nvram {
@@ -13,6 +14,12 @@ NvramDevice::NvramDevice(const DeviceParams &params)
 bool
 NvramDevice::put(std::uint64_t tag, Bytes bytes)
 {
+    if (faults_ != nullptr && faults_->onDeviceWrite()) {
+        // Torn device write: the access was issued (count it) but the
+        // cell never committed; the old value for the tag survives.
+        ++writes_;
+        return false;
+    }
     auto it = contents_.find(tag);
     const Bytes old = it == contents_.end() ? 0 : it->second;
     if (used_ - old + bytes > params_.capacity)

@@ -19,6 +19,8 @@
 
 namespace nvfs::nvram {
 
+class FaultPlan;
+
 /** Static properties of an NVRAM part. */
 struct DeviceParams
 {
@@ -92,6 +94,14 @@ class NvramDevice
     std::uint64_t readAccesses() const { return reads_; }
     std::uint64_t writeAccesses() const { return writes_; }
 
+    /**
+     * Attach a fault plan (nvfs::check); nullptr detaches.  Not owned
+     * — the caller keeps it alive for the device's lifetime.  An armed
+     * device-drop fault makes the matching put() fail as if power
+     * dropped mid-write: nothing stored, previous contents intact.
+     */
+    void setFaultPlan(FaultPlan *plan) { faults_ = plan; }
+
   private:
     DeviceParams params_;
     std::unordered_map<std::uint64_t, Bytes> contents_;
@@ -101,6 +111,7 @@ class NvramDevice
     bool contentsValid_ = true;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
+    FaultPlan *faults_ = nullptr;
 };
 
 } // namespace nvfs::nvram

@@ -1,0 +1,89 @@
+#include "nvram/fault.hpp"
+
+#include "util/env.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace nvfs::nvram {
+
+std::optional<FaultPlan>
+FaultPlan::fromSpec(const std::string &spec)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        const std::size_t colon = item.find(':');
+        if (colon == std::string::npos) {
+            util::warn(util::format(
+                "fault spec item '%s' has no ':<n>'", item.c_str()));
+            return std::nullopt;
+        }
+        const std::string kind = item.substr(0, colon);
+        const auto nth = util::tryParseInt(item.substr(colon + 1));
+        if (!nth || *nth <= 0) {
+            util::warn(util::format(
+                "fault spec item '%s' needs a positive event index",
+                item.c_str()));
+            return std::nullopt;
+        }
+        const auto at = static_cast<std::uint64_t>(*nth);
+        if (kind == "torn-seal") {
+            plan.tearSealAt(at);
+        } else if (kind == "power-fail") {
+            plan.powerFailAt(at);
+        } else if (kind == "device-drop") {
+            plan.dropDeviceWriteAt(at);
+        } else {
+            util::warn(util::format(
+                "unknown fault kind '%s' (want torn-seal, "
+                "power-fail, or device-drop)",
+                kind.c_str()));
+            return std::nullopt;
+        }
+    }
+    return plan;
+}
+
+std::optional<FaultPlan>
+FaultPlan::fromEnv()
+{
+    const char *spec = util::envRaw("NVFS_FAULTS");
+    if (spec == nullptr || *spec == '\0')
+        return std::nullopt;
+    return fromSpec(spec);
+}
+
+SealFault
+FaultPlan::onSeal()
+{
+    ++seals_;
+    if (powerFails_.count(seals_) != 0) {
+        fired_.push_back({FaultEvent::Kind::PowerFail, seals_});
+        return SealFault::PowerFail;
+    }
+    if (tornSeals_.count(seals_) != 0) {
+        fired_.push_back({FaultEvent::Kind::TornSeal, seals_});
+        return SealFault::Torn;
+    }
+    return SealFault::None;
+}
+
+bool
+FaultPlan::onDeviceWrite()
+{
+    ++deviceWrites_;
+    if (deviceDrops_.count(deviceWrites_) != 0) {
+        fired_.push_back({FaultEvent::Kind::DeviceDrop, deviceWrites_});
+        return true;
+    }
+    return false;
+}
+
+} // namespace nvfs::nvram

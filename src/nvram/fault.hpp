@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fault injection for the nvfs::check subsystem.
+ *
+ * A FaultPlan arms faults at 1-based event indices and is consulted by
+ * the instrumented components as those events happen:
+ *
+ *  - torn-seal:N    the Nth segment write of an LfsLog is interrupted
+ *                   after its data but before its summary block.  The
+ *                   summary is what makes a segment parseable, so on
+ *                   recovery the whole segment — and the log after it,
+ *                   which was never written — is lost.
+ *  - power-fail:N   power is lost just as the Nth segment write would
+ *                   begin: nothing reaches the disk and the open
+ *                   segment's volatile contents vanish.
+ *  - device-drop:N  the Nth NvramDevice::put() is dropped mid-write;
+ *                   the device keeps its previous contents for the tag.
+ *
+ * The plan records every fault that actually fired so tests can assert
+ * exact loss accounting.  Plans are plain state machines: not thread
+ * safe, one per injected component graph.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace nvfs::nvram {
+
+/** What a FaultPlan can do to one segment write. */
+enum class SealFault : std::uint8_t {
+    None,      ///< write completes
+    Torn,      ///< data written, summary lost
+    PowerFail, ///< nothing written, volatile state lost
+};
+
+/** One fault that fired. */
+struct FaultEvent
+{
+    enum class Kind : std::uint8_t { TornSeal, PowerFail, DeviceDrop };
+
+    Kind kind = Kind::TornSeal;
+    std::uint64_t at = 0; ///< 1-based event index it fired on
+
+    bool operator==(const FaultEvent &other) const = default;
+};
+
+/** Armed faults plus counters of the events seen so far. */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /** Arm: the Nth segment write loses its summary block. */
+    void tearSealAt(std::uint64_t nth) { tornSeals_.insert(nth); }
+
+    /** Arm: power dies as the Nth segment write would begin. */
+    void powerFailAt(std::uint64_t nth) { powerFails_.insert(nth); }
+
+    /** Arm: the Nth NVRAM put() is dropped. */
+    void dropDeviceWriteAt(std::uint64_t nth)
+    {
+        deviceDrops_.insert(nth);
+    }
+
+    /**
+     * Parse "kind:n[,kind:n...]" with kinds torn-seal, power-fail,
+     * device-drop and n a positive integer.  Returns nullopt (after a
+     * warning) on malformed input rather than a half-armed plan.
+     */
+    static std::optional<FaultPlan> fromSpec(const std::string &spec);
+
+    /** fromSpec(NVFS_FAULTS); nullopt when unset or malformed. */
+    static std::optional<FaultPlan> fromEnv();
+
+    /**
+     * Hook: an LfsLog is about to write a segment.  Counts the event
+     * and reports the fate of this write.
+     */
+    SealFault onSeal();
+
+    /** Hook: an NvramDevice::put().  True = drop this write. */
+    bool onDeviceWrite();
+
+    /** Segment writes attempted so far. */
+    std::uint64_t sealsSeen() const { return seals_; }
+
+    /** Device puts attempted so far. */
+    std::uint64_t deviceWritesSeen() const { return deviceWrites_; }
+
+    /** Every fault that fired, in firing order. */
+    const std::vector<FaultEvent> &fired() const { return fired_; }
+
+    /** True once any armed fault has fired. */
+    bool anyFired() const { return !fired_.empty(); }
+
+  private:
+    std::set<std::uint64_t> tornSeals_;
+    std::set<std::uint64_t> powerFails_;
+    std::set<std::uint64_t> deviceDrops_;
+    std::uint64_t seals_ = 0;
+    std::uint64_t deviceWrites_ = 0;
+    std::vector<FaultEvent> fired_;
+};
+
+} // namespace nvfs::nvram

@@ -13,10 +13,17 @@ FileServer::FileServer(std::vector<std::string> fs_names,
     : config_(config)
 {
     NVFS_REQUIRE(!fs_names.empty(), "server needs file systems");
+    if (auto plan = nvram::FaultPlan::fromEnv()) {
+        faults_ = std::make_unique<nvram::FaultPlan>(std::move(*plan));
+        util::inform("NVFS_FAULTS armed (indices count across all "
+                     "file systems)");
+    }
     state_.reserve(fs_names.size());
     for (auto &name : fs_names) {
         auto fs = std::make_unique<FsState>(config_.lfs);
         fs->stats.name = std::move(name);
+        if (faults_)
+            fs->log.setFaultPlan(faults_.get());
         state_.push_back(std::move(fs));
     }
 }
@@ -51,6 +58,15 @@ FileServer::totalDataBytes() const
     for (const auto &fs : state_)
         total += fs->log.stats().dataBytes;
     return total;
+}
+
+void
+FileServer::auditInvariants() const
+{
+    for (const auto &fs : state_) {
+        fs->log.auditInvariants();
+        fs->dirty.auditInvariants();
+    }
 }
 
 void

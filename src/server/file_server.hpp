@@ -22,6 +22,7 @@
 #include "cache/block_cache.hpp"
 #include "lfs/cleaner.hpp"
 #include "lfs/log.hpp"
+#include "nvram/fault.hpp"
 #include "workload/server_workload.hpp"
 
 namespace nvfs::server {
@@ -76,6 +77,12 @@ class FileServer
     /** Direct log access (tests, the Figure 7 example). */
     lfs::LfsLog &log(FsId fs);
 
+    /**
+     * Structural audit (nvfs::check): every file system's log and
+     * dirty pool.  Throws util::AuditError on violation.
+     */
+    void auditInvariants() const;
+
   private:
     struct FsState
     {
@@ -101,6 +108,9 @@ class FileServer
 
     ServerConfig config_;
     std::vector<std::unique_ptr<FsState>> state_;
+    /** NVFS_FAULTS plan shared by every log; heap-owned so the
+     *  pointers the logs hold survive a FileServer move. */
+    std::unique_ptr<nvram::FaultPlan> faults_;
     TimeUs lastSweep_ = 0;
 };
 

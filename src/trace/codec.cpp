@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/env.hpp"
 #include "util/log.hpp"
 
 namespace nvfs::trace {
@@ -92,15 +93,24 @@ std::optional<Event>
 parseTextEvent(const std::string &line)
 {
     std::istringstream in(line);
-    long long time = 0;
+    std::string time_text;
     std::string type_name;
-    if (!(in >> time >> type_name))
+    if (!(in >> time_text))
         return std::nullopt; // blank line
-    if (type_name.empty() || type_name[0] == '#')
-        return std::nullopt;
+    if (time_text[0] == '#')
+        return std::nullopt; // comment
+
+    // Strict numeric parse throughout: the old std::stoull calls
+    // threw bare std::invalid_argument on garbage, silently accepted
+    // trailing junk ("42x" -> 42), and wrapped negatives around.
+    const auto time = util::tryParseInt(time_text);
+    if (!time.has_value())
+        throw ValidateError("time", time_text);
+    if (!(in >> type_name) || type_name.empty())
+        throw ValidateError("type", "<missing>");
 
     Event event;
-    event.time = time;
+    event.time = static_cast<TimeUs>(*time);
     bool known = false;
     for (int t = 0; t <= static_cast<int>(EventType::EndOfTrace); ++t) {
         if (eventTypeName(static_cast<EventType>(t)) == type_name) {
@@ -110,16 +120,19 @@ parseTextEvent(const std::string &line)
         }
     }
     if (!known)
-        util::fatal("unknown event type '" + type_name + "'");
+        throw ValidateError("type", type_name);
 
     std::string field;
     while (in >> field) {
         const auto eq = field.find('=');
         if (eq == std::string::npos)
-            util::fatal("malformed field '" + field + "'");
+            throw ValidateError("field", field);
         const std::string key = field.substr(0, eq);
-        const unsigned long long value =
-            std::stoull(field.substr(eq + 1));
+        const std::string value_text = field.substr(eq + 1);
+        const auto parsed = util::tryParseInt(value_text);
+        if (!parsed.has_value() || *parsed < 0)
+            throw ValidateError(key, value_text);
+        const auto value = static_cast<std::uint64_t>(*parsed);
         if (key == "client") {
             event.client = static_cast<ClientId>(value);
         } else if (key == "pid") {
@@ -135,7 +148,7 @@ parseTextEvent(const std::string &line)
         } else if (key == "target") {
             event.targetClient = static_cast<ClientId>(value);
         } else {
-            util::fatal("unknown field '" + key + "'");
+            throw ValidateError(key, value_text);
         }
     }
     return event;

@@ -12,12 +12,38 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "trace/event.hpp"
 
 namespace nvfs::trace {
+
+/**
+ * A text-format trace line failed to parse.  Thrown (rather than
+ * aborting) so readers can attach the file/line context before
+ * reporting, and so malformed input from outside the process is a
+ * recoverable condition, not a crash.
+ */
+class ValidateError : public std::runtime_error
+{
+  public:
+    /** @param field the offending field name ("time", "type", "len"…)
+     *  @param value the text that failed to parse */
+    ValidateError(const std::string &field, const std::string &value)
+        : std::runtime_error("bad trace field '" + field + "': '" +
+                             value + "'"),
+          field_(field)
+    {
+    }
+
+    /** The offending field's name. */
+    const std::string &field() const { return field_; }
+
+  private:
+    std::string field_;
+};
 
 /** Magic bytes at the start of a binary trace file. */
 inline constexpr std::uint32_t kTraceMagic = 0x4e564653; // "NVFS"

@@ -66,11 +66,18 @@ readTraceText(const std::string &path)
         util::fatal("cannot open trace file: " + path);
     TraceBuffer buffer;
     std::string line;
+    std::size_t line_number = 0;
     while (std::getline(in, line)) {
+        ++line_number;
         if (!line.empty() && line[0] == '#')
             continue;
-        if (auto event = parseTextEvent(line))
-            buffer.events.push_back(*event);
+        try {
+            if (auto event = parseTextEvent(line))
+                buffer.events.push_back(*event);
+        } catch (const ValidateError &e) {
+            util::fatal(path + ":" + std::to_string(line_number) +
+                        ": " + e.what());
+        }
     }
     buffer.header.eventCount = buffer.events.size();
     return buffer;

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The error type and check macro behind the nvfs::check invariant
+ * audits.
+ *
+ * Audits differ from NVFS_REQUIRE in one deliberate way: a violated
+ * audit THROWS instead of aborting.  NVFS_REQUIRE guards hot-path
+ * preconditions whose violation means the process must die before it
+ * computes garbage; an audit is a diagnostic sweep run by tests, the
+ * NVFS_AUDIT=N hook, and the fuzz driver — all of which want to catch
+ * the failure, attach the op-stream context that produced it, and (for
+ * the fuzzer) shrink the input to a minimal reproducer.
+ */
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nvfs::util {
+
+/** A structural invariant audit failed. */
+class AuditError : public std::runtime_error
+{
+  public:
+    /** @param where the audited structure, e.g. "BlockCache"
+     *  @param what_failed the violated invariant */
+    AuditError(const std::string &where, const std::string &what_failed)
+        : std::runtime_error(where + " audit: " + what_failed),
+          where_(where)
+    {
+    }
+
+    /** The audited structure's name. */
+    const std::string &where() const { return where_; }
+
+  private:
+    std::string where_;
+};
+
+/** Throw AuditError unless `cond` holds. */
+#define NVFS_AUDIT_CHECK(cond, where, msg)                                 \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            throw ::nvfs::util::AuditError((where),                        \
+                                           std::string(#cond) + " — " +    \
+                                               (msg));                     \
+        }                                                                  \
+    } while (0)
+
+} // namespace nvfs::util

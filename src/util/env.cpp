@@ -1,0 +1,80 @@
+#include "util/env.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace nvfs::util {
+
+std::optional<std::int64_t>
+tryParseInt(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0')
+        return std::nullopt;
+    return static_cast<std::int64_t>(value);
+}
+
+std::optional<double>
+tryParseDouble(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == text.c_str() || *end != '\0' ||
+        !std::isfinite(value)) {
+        return std::nullopt;
+    }
+    return value;
+}
+
+const char *
+envRaw(const char *name)
+{
+    return std::getenv(name);
+}
+
+std::int64_t
+envInt(const char *name, std::int64_t fallback, std::int64_t min,
+       std::int64_t max)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr)
+        return fallback;
+    const auto value = tryParseInt(raw);
+    if (!value || *value < min || *value > max) {
+        warn(format("%s='%s' is not an integer in [%lld, %lld]; "
+                    "using %lld",
+                    name, raw, static_cast<long long>(min),
+                    static_cast<long long>(max),
+                    static_cast<long long>(fallback)));
+        return fallback;
+    }
+    return *value;
+}
+
+double
+envDouble(const char *name, double fallback, double min, double max)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr)
+        return fallback;
+    const auto value = tryParseDouble(raw);
+    if (!value || *value < min || *value > max) {
+        warn(format("%s='%s' is not a number in [%g, %g]; using %g",
+                    name, raw, min, max, fallback));
+        return fallback;
+    }
+    return *value;
+}
+
+} // namespace nvfs::util

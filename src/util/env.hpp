@@ -1,0 +1,45 @@
+/**
+ * @file
+ * One shared parser for the NVFS_* environment knobs.
+ *
+ * The env variables grew three divergent ad-hoc parsers (NVFS_JOBS,
+ * NVFS_SCALE, and the audit knob); each had slightly different ideas
+ * about trailing garbage and range errors.  envInt()/envDouble()
+ * centralize the policy: a malformed or out-of-range value warns once
+ * (naming the variable, the offending text, and the accepted range)
+ * and falls back — it never silently becomes 0 the way atoi would.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace nvfs::util {
+
+/**
+ * Strictly parse a base-10 signed integer.  Rejects empty input,
+ * trailing garbage ("8x"), partial parses, and out-of-range values.
+ */
+std::optional<std::int64_t> tryParseInt(const std::string &text);
+
+/** Strictly parse a finite double (whole string, no trailing junk). */
+std::optional<double> tryParseDouble(const std::string &text);
+
+/**
+ * Integer environment knob.  Unset -> fallback (silently).  Set but
+ * malformed or outside [min, max] -> warn with the variable name and
+ * accepted range, then fallback.
+ */
+std::int64_t envInt(const char *name, std::int64_t fallback,
+                    std::int64_t min, std::int64_t max);
+
+/** Double environment knob; accepts finite values in [min, max]. */
+double envDouble(const char *name, double fallback, double min,
+                 double max);
+
+/** Raw environment lookup (nullptr when unset). */
+const char *envRaw(const char *name);
+
+} // namespace nvfs::util

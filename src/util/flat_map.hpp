@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/audit.hpp"
 #include "util/log.hpp"
 
 namespace nvfs::util {
@@ -193,6 +194,42 @@ class FlatMap
             if (meta_[i] != kEmpty)
                 fn(slots_[i].key, slots_[i].value);
         }
+    }
+
+    /**
+     * Structural audit (nvfs::check): capacity a power of two, size_
+     * matching the occupied-slot count, and every resident's stored
+     * probe distance equal to its true distance from its hash's home
+     * slot (the invariant both lookup early-exit and backward-shift
+     * deletion depend on).  Throws AuditError on violation.
+     */
+    void
+    auditInvariants() const
+    {
+        NVFS_AUDIT_CHECK(slots_.size() == meta_.size(), "FlatMap",
+                         "slot and metadata arrays disagree on size");
+        if (slots_.empty()) {
+            NVFS_AUDIT_CHECK(size_ == 0, "FlatMap",
+                             "nonzero size with no table");
+            return;
+        }
+        NVFS_AUDIT_CHECK((capacity() & (capacity() - 1)) == 0, "FlatMap",
+                         "capacity not a power of two");
+        const std::size_t mask = capacity() - 1;
+        std::size_t occupied = 0;
+        for (std::size_t pos = 0; pos < slots_.size(); ++pos) {
+            const std::uint8_t meta = meta_[pos];
+            if (meta == kEmpty)
+                continue;
+            ++occupied;
+            const std::size_t home = Hash{}(slots_[pos].key) & mask;
+            const std::size_t dist = ((pos - home) & mask) + 1;
+            NVFS_AUDIT_CHECK(dist == meta, "FlatMap",
+                             "stored probe distance does not match the "
+                             "slot's true distance from home");
+        }
+        NVFS_AUDIT_CHECK(occupied == size_, "FlatMap",
+                         "size counter diverged from occupied slots");
     }
 
     /** Erase every entry matching the predicate; returns the count. */

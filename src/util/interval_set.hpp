@@ -16,6 +16,7 @@
 #include <map>
 #include <vector>
 
+#include "util/audit.hpp"
 #include "util/log.hpp"
 #include "util/types.hpp"
 
@@ -41,6 +42,33 @@ struct ByteRange
 class IntervalSet
 {
   public:
+    IntervalSet() = default;
+    IntervalSet(const IntervalSet &) = default;
+    IntervalSet &operator=(const IntervalSet &) = default;
+
+    // Moves reset the source's byte total: a moved-from std::map is
+    // empty, and leaving the scalar behind produces a set whose
+    // total_ disagrees with its (zero) runs — a latent corruption if
+    // the moved-from object is ever used again.
+    IntervalSet(IntervalSet &&other) noexcept
+        : ranges_(std::move(other.ranges_)), total_(other.total_)
+    {
+        other.ranges_.clear();
+        other.total_ = 0;
+    }
+
+    IntervalSet &
+    operator=(IntervalSet &&other) noexcept
+    {
+        if (this != &other) {
+            ranges_ = std::move(other.ranges_);
+            total_ = other.total_;
+            other.ranges_.clear();
+            other.total_ = 0;
+        }
+        return *this;
+    }
+
     /** Add [begin, end), merging with any adjacent/overlapping runs. */
     void
     insert(Bytes begin, Bytes end)
@@ -142,6 +170,30 @@ class IntervalSet
         for (const auto &[b, e] : ranges_)
             out.push_back({b, e});
         return out;
+    }
+
+    /**
+     * Structural audit (nvfs::check): every run non-empty, runs
+     * strictly separated (coalescing leaves no adjacent pair), and the
+     * incremental total_ equal to the sum of the runs.  Throws
+     * AuditError on violation.
+     */
+    void
+    auditInvariants() const
+    {
+        Bytes sum = 0;
+        Bytes prev_end = 0;
+        bool first = true;
+        for (const auto &[b, e] : ranges_) {
+            NVFS_AUDIT_CHECK(b < e, "IntervalSet", "empty run stored");
+            NVFS_AUDIT_CHECK(first || b > prev_end, "IntervalSet",
+                             "runs overlap or touch (not coalesced)");
+            sum += e - b;
+            prev_end = e;
+            first = false;
+        }
+        NVFS_AUDIT_CHECK(sum == total_, "IntervalSet",
+                         "incremental byte total diverged from runs");
     }
 
   private:

@@ -12,17 +12,15 @@
 
 #pragma once
 
-#include <cerrno>
 #include <condition_variable>
-#include <cstdlib>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/env.hpp"
 #include "util/log.hpp"
-#include "util/table.hpp"
 
 namespace nvfs::util {
 
@@ -30,29 +28,17 @@ namespace nvfs::util {
  * Worker count for parallel sweeps: the NVFS_JOBS environment
  * variable when set to a positive integer, else the hardware thread
  * count (and 1 when even that is unknown).  A malformed NVFS_JOBS
- * (not a plain positive integer) warns and falls back to the
- * hardware count rather than silently running single-threaded or
- * with a surprising worker count.
+ * (not a plain positive integer, or out of range) warns via envInt()
+ * and falls back to the hardware count rather than silently running
+ * single-threaded or with a surprising worker count.
  */
 inline unsigned
 defaultJobCount()
 {
     const unsigned hw = std::thread::hardware_concurrency();
     const unsigned fallback = hw == 0 ? 1 : hw;
-    if (const char *env = std::getenv("NVFS_JOBS")) {
-        char *end = nullptr;
-        errno = 0;
-        const long jobs = std::strtol(env, &end, 10);
-        if (errno != 0 || end == env || *end != '\0' || jobs <= 0 ||
-            jobs > 65536) {
-            warn(format("NVFS_JOBS='%s' is not a positive integer; "
-                        "using %u worker threads",
-                        env, fallback));
-            return fallback;
-        }
-        return static_cast<unsigned>(jobs);
-    }
-    return fallback;
+    return static_cast<unsigned>(
+        envInt("NVFS_JOBS", fallback, 1, 65536));
 }
 
 /** Fixed set of worker threads draining a FIFO task queue. */

@@ -164,6 +164,28 @@ TEST(LfsLog, TruncateKillsTailBlocks)
     log.checkInvariants();
 }
 
+TEST(LfsLog, TruncateOfAnotherFileLeavesPendingBlocksIntact)
+{
+    // Regression: truncate used to move every surviving pending block
+    // into a scratch vector before deciding whether the truncate
+    // touched anything pending.  When it touched nothing, the scratch
+    // vector was discarded and pending_ kept the moved-from blocks —
+    // empty range sets with stale byte totals.  Unrelated truncates
+    // silently wiped the open segment's dirty ranges.
+    LfsLog log(smallConfig());
+    log.writeBlock(9, 1, 819);
+    ASSERT_EQ(log.pendingBytes(), 819u);
+
+    log.truncate(3, 7425); // file 3 has nothing pending
+    log.auditInvariants();
+    EXPECT_EQ(log.pendingBytes(), 819u);
+
+    // The pending data must still reach disk with its bytes.
+    log.seal(SealCause::Fsync);
+    EXPECT_EQ(log.stats().dataBytes, 819u);
+    ASSERT_TRUE(log.inodes().locate(9, 1).has_value());
+}
+
 TEST(LfsLog, StatsDiskBytesAddUp)
 {
     LfsLog log(smallConfig());

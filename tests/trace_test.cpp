@@ -89,6 +89,37 @@ TEST(TextCodec, SkipsBlankAndComment)
     EXPECT_FALSE(parseTextEvent("# comment").has_value());
 }
 
+TEST(TextCodec, RejectsMalformedLinesWithTheField)
+{
+    // Garbage where a number belongs used to reach std::stoull and
+    // escape as a bare std::invalid_argument (or silently truncate:
+    // "42x" parsed as 42).  Now every bad field throws ValidateError
+    // naming the offender.
+    EXPECT_THROW(parseTextEvent("bogus write file=1"), ValidateError);
+    EXPECT_THROW(parseTextEvent("5 warp file=1"), ValidateError);
+    EXPECT_THROW(parseTextEvent("5 write file=abc"), ValidateError);
+    EXPECT_THROW(parseTextEvent("5 write file=1x"), ValidateError);
+    EXPECT_THROW(parseTextEvent("5 write len=-4"), ValidateError);
+    EXPECT_THROW(parseTextEvent("5 write file"), ValidateError);
+    EXPECT_THROW(parseTextEvent("5 write weird=1"), ValidateError);
+    EXPECT_THROW(parseTextEvent("5"), ValidateError);
+
+    try {
+        parseTextEvent("5 write len=junk");
+        FAIL() << "expected ValidateError";
+    } catch (const ValidateError &e) {
+        EXPECT_EQ(e.field(), "len");
+        EXPECT_NE(std::string(e.what()).find("junk"),
+                  std::string::npos);
+    }
+    try {
+        parseTextEvent("notatime write file=1");
+        FAIL() << "expected ValidateError";
+    } catch (const ValidateError &e) {
+        EXPECT_EQ(e.field(), "time");
+    }
+}
+
 TEST(TraceFiles, BinaryRoundTrip)
 {
     TraceBuffer in;

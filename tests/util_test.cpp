@@ -10,6 +10,8 @@
 #include <cmath>
 #include <map>
 
+#include "util/audit.hpp"
+#include "util/env.hpp"
 #include "util/interval_set.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -421,6 +423,101 @@ TEST(Types, BlocksCovering)
 TEST(Types, SecondsUs)
 {
     EXPECT_EQ(secondsUs(1.5), 1'500'000);
+}
+
+// ------------------------------------------------------------ env.hpp
+
+TEST(Env, TryParseIntStrict)
+{
+    EXPECT_EQ(tryParseInt("42"), 42);
+    EXPECT_EQ(tryParseInt("-7"), -7);
+    EXPECT_EQ(tryParseInt("0"), 0);
+    EXPECT_FALSE(tryParseInt("").has_value());
+    EXPECT_FALSE(tryParseInt("8x").has_value());
+    EXPECT_FALSE(tryParseInt("x8").has_value());
+    EXPECT_FALSE(tryParseInt("4 2").has_value());
+    EXPECT_FALSE(tryParseInt("3.5").has_value());
+    EXPECT_FALSE(tryParseInt("999999999999999999999").has_value());
+}
+
+TEST(Env, TryParseDoubleStrict)
+{
+    EXPECT_EQ(tryParseDouble("1.5"), 1.5);
+    EXPECT_EQ(tryParseDouble("-2"), -2.0);
+    EXPECT_FALSE(tryParseDouble("").has_value());
+    EXPECT_FALSE(tryParseDouble("1.5x").has_value());
+    EXPECT_FALSE(tryParseDouble("nan").has_value());
+    EXPECT_FALSE(tryParseDouble("inf").has_value());
+}
+
+TEST(Env, EnvIntFallsBackOnGarbageAndRange)
+{
+    ::unsetenv("NVFS_TEST_KNOB");
+    EXPECT_EQ(envInt("NVFS_TEST_KNOB", 5, 0, 100), 5);
+    ::setenv("NVFS_TEST_KNOB", "17", 1);
+    EXPECT_EQ(envInt("NVFS_TEST_KNOB", 5, 0, 100), 17);
+    ::setenv("NVFS_TEST_KNOB", "17x", 1); // atoi would say 17
+    EXPECT_EQ(envInt("NVFS_TEST_KNOB", 5, 0, 100), 5);
+    ::setenv("NVFS_TEST_KNOB", "101", 1); // above max
+    EXPECT_EQ(envInt("NVFS_TEST_KNOB", 5, 0, 100), 5);
+    ::unsetenv("NVFS_TEST_KNOB");
+}
+
+TEST(Env, EnvDoubleFallsBackOnGarbage)
+{
+    ::unsetenv("NVFS_TEST_KNOB");
+    EXPECT_EQ(envDouble("NVFS_TEST_KNOB", 0.25, 0.0, 8.0), 0.25);
+    ::setenv("NVFS_TEST_KNOB", "0.5", 1);
+    EXPECT_EQ(envDouble("NVFS_TEST_KNOB", 0.25, 0.0, 8.0), 0.5);
+    ::setenv("NVFS_TEST_KNOB", "lots", 1);
+    EXPECT_EQ(envDouble("NVFS_TEST_KNOB", 0.25, 0.0, 8.0), 0.25);
+    ::unsetenv("NVFS_TEST_KNOB");
+}
+
+// ------------------------------------------------ audits (util layer)
+
+TEST(Audit, IntervalSetAuditPassesAndMacroThrows)
+{
+    IntervalSet set;
+    set.insert(10, 20);
+    set.insert(30, 40);
+    EXPECT_NO_THROW(set.auditInvariants());
+
+    EXPECT_THROW(NVFS_AUDIT_CHECK(1 == 2, "test", "forced"),
+                 AuditError);
+    try {
+        NVFS_AUDIT_CHECK(false, "widget", "broken");
+    } catch (const AuditError &e) {
+        EXPECT_EQ(e.where(), "widget");
+    }
+}
+
+TEST(Audit, MovedFromIntervalSetStaysConsistent)
+{
+    // Regression: a moved-from set kept its scalar byte total while
+    // the underlying map was emptied, so the next audit (or totalBytes
+    // query) on it saw total_ != sum of runs.  Moves must leave the
+    // source empty AND zeroed.
+    IntervalSet a;
+    a.insert(0, 819);
+
+    IntervalSet b(std::move(a));
+    EXPECT_EQ(b.totalBytes(), 819u);
+    EXPECT_NO_THROW(b.auditInvariants());
+    EXPECT_TRUE(a.empty());
+    EXPECT_EQ(a.totalBytes(), 0u);
+    EXPECT_NO_THROW(a.auditInvariants());
+
+    a.insert(5, 10); // reusable after the move
+    EXPECT_EQ(a.totalBytes(), 5u);
+
+    IntervalSet c;
+    c.insert(100, 200);
+    c = std::move(b);
+    EXPECT_EQ(c.totalBytes(), 819u);
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(b.totalBytes(), 0u);
+    EXPECT_NO_THROW(b.auditInvariants());
 }
 
 } // namespace

@@ -14,6 +14,8 @@
  *                     [--models volatile,write-aside,unified]
  *                     [--nvram 0.5M,1M,2M,4M] [--volatile 8M]
  *                     [--policy lru]
+ *   nvfs_sim check    [--runs 20] [--ops 2000] [--seed 1]
+ *                     [--audit 64] [--max-seconds T] [--no-shrink]
  *
  * Sizes accept K/M/G suffixes; durations accept s/min/h.  Sweeps run
  * --jobs experiments in parallel (default NVFS_JOBS, else all cores).
@@ -21,16 +23,19 @@
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "check/fuzz.hpp"
 #include "core/sim/experiments.hpp"
 #include "core/sim/sweep.hpp"
 #include "prep/characterize.hpp"
 #include "prep/converter.hpp"
 #include "trace/stream.hpp"
 #include "trace/validate.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 #include "workload/generator.hpp"
@@ -70,13 +75,30 @@ class Args
     int
     getInt(const std::string &key, int fallback) const
     {
-        return has(key) ? std::atoi(get(key).c_str()) : fallback;
+        if (!has(key))
+            return fallback;
+        // Strict parse: "--jobs 4x" used to silently become 4 via
+        // atoi (and "--jobs x" became 0); reject it with the flag
+        // name instead.
+        const auto parsed = util::tryParseInt(get(key));
+        if (!parsed.has_value()) {
+            util::fatal("--" + key + " expects an integer, got '" +
+                        get(key) + "'");
+        }
+        return static_cast<int>(*parsed);
     }
 
     double
     getDouble(const std::string &key, double fallback) const
     {
-        return has(key) ? std::atof(get(key).c_str()) : fallback;
+        if (!has(key))
+            return fallback;
+        const auto parsed = util::tryParseDouble(get(key));
+        if (!parsed.has_value()) {
+            util::fatal("--" + key + " expects a number, got '" +
+                        get(key) + "'");
+        }
+        return *parsed;
     }
 
     Bytes
@@ -239,10 +261,16 @@ cmdClient(const Args &args)
         const auto colon = spec.find(':');
         if (colon == std::string::npos)
             util::fatal("--crash expects <duration>:<client>");
+        const auto client = util::tryParseInt(spec.substr(colon + 1));
+        if (!client.has_value() || *client < 0 ||
+            *client > std::numeric_limits<ClientId>::max()) {
+            util::fatal("--crash expects <duration>:<client>, got "
+                        "client '" +
+                        spec.substr(colon + 1) + "'");
+        }
         config.crashes.emplace_back(
             util::parseDuration(spec.substr(0, colon)),
-            static_cast<ClientId>(
-                std::atoi(spec.c_str() + colon + 1)));
+            static_cast<ClientId>(*client));
     }
 
     core::ClusterSim sim(config, std::max<std::uint32_t>(
@@ -373,6 +401,43 @@ cmdSweep(const Args &args)
     return 0;
 }
 
+int
+cmdCheck(const Args &args)
+{
+    check::FuzzConfig config;
+    config.seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    config.opsPerRun = static_cast<std::size_t>(
+        args.getInt("ops", 2000));
+    config.clients = static_cast<std::uint32_t>(
+        args.getInt("clients", 4));
+    config.files = static_cast<std::uint32_t>(
+        args.getInt("files", 48));
+    config.auditEvery = static_cast<std::uint64_t>(
+        args.getInt("audit", 64));
+    config.maxSeconds = args.getDouble("max-seconds", 0.0);
+    config.shrink = !args.has("no-shrink");
+    const auto runs =
+        static_cast<std::size_t>(args.getInt("runs", 20));
+
+    const check::FuzzResult result = check::fuzz(config, runs);
+    if (result.ok()) {
+        std::printf("check: %zu runs, %zu ops, extent == legacy, "
+                    "all audits clean\n",
+                    result.runs, result.opsExecuted);
+        return 0;
+    }
+    const check::FuzzFailure &failure = *result.failure;
+    std::fprintf(stderr,
+                 "check FAILED (seed %llu): %s\n"
+                 "reproducer (%zu ops, shrunk from %zu):\n%s",
+                 static_cast<unsigned long long>(failure.seed),
+                 failure.what.c_str(), failure.ops.ops.size(),
+                 failure.originalOps,
+                 check::describeOps(failure.ops).c_str());
+    return 1;
+}
+
 void
 usage()
 {
@@ -391,7 +456,11 @@ usage()
         "  sweep    --trace N [--scale S] [--jobs N]\n"
         "           [--models volatile,write-aside,unified]\n"
         "           [--nvram 0.5M,1M,2M,4M] [--volatile 8M]\n"
-        "           [--policy lru]\n");
+        "           [--policy lru]\n"
+        "  check    [--runs 20] [--ops 2000] [--seed 1] "
+        "[--clients 4]\n"
+        "           [--files 48] [--audit 64] [--max-seconds T]\n"
+        "           [--no-shrink]   differential fuzz with audits\n");
 }
 
 } // namespace
@@ -419,6 +488,8 @@ main(int argc, char **argv)
         return cmdServer(args);
     if (command == "sweep")
         return cmdSweep(args);
+    if (command == "check")
+        return cmdCheck(args);
     usage();
     return 1;
 }
