@@ -6,7 +6,10 @@
  */
 
 #include <cstdio>
+#include <filesystem>
+#include <map>
 #include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -17,9 +20,12 @@
 #include "core/sim/sweep.hpp"
 #include "lfs/log.hpp"
 #include "prep/op_cache.hpp"
+#include "trace/stream.hpp"
 #include "util/flat_map.hpp"
 #include "util/interval_set.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/generator.hpp"
 
 using namespace nvfs;
 
@@ -260,6 +266,90 @@ BM_SweepRunner(benchmark::State &state)
         static_cast<std::int64_t>(models.size()));
 }
 BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/** Trace file on disk for the ingest/pipeline benches, written once. */
+const std::string &
+benchTracePath(int trace, bool text)
+{
+    static std::map<std::uint64_t, std::string> paths;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(trace) << 1) | (text ? 1 : 0);
+    const auto it = paths.find(key);
+    if (it != paths.end())
+        return it->second;
+    const std::string path = "/tmp/nvfs_bench_ingest_" +
+                             std::to_string(::getpid()) + "_t" +
+                             std::to_string(trace) +
+                             (text ? ".txt" : ".nvt");
+    const auto buffer =
+        workload::generateStandardTrace(trace, core::benchScale());
+    if (text)
+        trace::writeTraceText(path, buffer);
+    else
+        trace::writeTraceFile(path, buffer);
+    return paths.emplace(key, path).first->second;
+}
+
+void
+BM_ParallelIngest(benchmark::State &state)
+{
+    // mmap-chunked trace parse at a fixed worker count: jobs=1 is the
+    // serial baseline for the parallel-ingest speedup.  Arg(1) picks
+    // the format (0 = binary records, 1 = text lines).
+    const auto jobs = static_cast<unsigned>(state.range(0));
+    const bool text = state.range(1) != 0;
+    const std::string &path = benchTracePath(7, text);
+    util::ThreadPool pool(jobs);
+    for (auto _ : state) {
+        const auto buffer = text ? trace::readTraceText(path, &pool)
+                                 : trace::readTraceFile(path, &pool);
+        benchmark::DoNotOptimize(buffer.events.size());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(
+            std::filesystem::file_size(path)));
+}
+BENCHMARK(BM_ParallelIngest)
+    ->ArgNames({"jobs", "text"})
+    ->Args({1, 0})->Args({2, 0})->Args({4, 0})
+    ->Args({1, 1})->Args({2, 1})->Args({4, 1})
+    ->UseRealTime();
+
+void
+BM_PipelineSweep(benchmark::State &state)
+{
+    // The pipelined multi-trace sweep: ingest+prep of trace k+1
+    // overlaps the model-grid replay of trace k, and the ingest
+    // itself fans out across the same pool.  jobs=1 is the strict
+    // serial prepare-then-replay baseline; the jobs:N / jobs:1 ratio
+    // is the pipeline speedup recorded in BENCH_e2e.json.
+    const auto jobs = static_cast<unsigned>(state.range(0));
+    std::vector<std::string> paths;
+    for (const int trace : {3, 4, 7})
+        paths.push_back(benchTracePath(trace, false));
+    std::vector<core::ModelConfig> models;
+    for (const double mb : {0.5, 1.0, 2.0}) {
+        core::ModelConfig model;
+        model.kind = core::ModelKind::Unified;
+        model.volatileBytes = 8 * kMiB;
+        model.nvramBytes = static_cast<Bytes>(mb * kMiB);
+        models.push_back(model);
+    }
+    const core::SweepRunner runner(jobs);
+    for (auto _ : state) {
+        const auto rows = runner.runTraceSweep(paths, models);
+        benchmark::DoNotOptimize(rows.front().front().appWriteBytes);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(paths.size() * models.size()));
+}
+BENCHMARK(BM_PipelineSweep)
+    ->ArgName("jobs")
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -3,19 +3,25 @@
 
 Runs ``perf_microbench`` with google-benchmark's JSON reporter and
 normalizes the result into compact {benchmark: {real_time_ns, ...}}
-summaries.  The BM_ClusterSimReplay macrobenchmarks (whole-trace
-simulations) go to BENCH_e2e.json, which additionally pairs each
-extent-engine run with its legacy-engine twin and records the speedup
-ratio; everything else goes to BENCH_microbench.json so CI can archive
-a perf snapshot per commit.  With ``--baseline previous.json`` it also
-prints a per-benchmark comparison and (with ``--max-regression``)
-fails when any microbenchmark slowed down beyond the allowed ratio.
+summaries.  The whole-trace macrobenchmarks — BM_ClusterSimReplay and
+the pipelined BM_PipelineSweep — go to BENCH_e2e.json, which
+additionally pairs each extent-engine run with its legacy-engine twin
+(and each multi-job pipeline run with its jobs:1 baseline) and records
+the speedup ratios; everything else goes to BENCH_microbench.json so
+CI can archive a perf snapshot per commit.  With ``--baseline
+previous.json`` it also prints a per-benchmark comparison and (with
+``--max-regression``) fails when any microbenchmark slowed down beyond
+the allowed ratio.  With ``--e2e-baseline BENCH_e2e.json`` the
+whole-trace replays are diffed against the committed snapshot and any
+run more than ``--e2e-warn-regression`` (default 10%) slower gets a
+WARNING — machines differ, so this never fails the run.
 
 Usage:
     bench_compare.py --bench build/bench/perf_microbench \
         [--output BENCH_microbench.json] \
         [--e2e-output BENCH_e2e.json] \
         [--baseline old.json] [--max-regression 1.30] \
+        [--e2e-baseline BENCH_e2e.json] [--e2e-warn-regression 1.10] \
         [--filter REGEX] [--min-time SECONDS] [--repetitions N]
 """
 
@@ -25,10 +31,16 @@ import re
 import subprocess
 import sys
 
-E2E_PREFIX = "BM_ClusterSimReplay"
+E2E_PREFIXES = ("BM_ClusterSimReplay", "BM_PipelineSweep")
 E2E_NAME = re.compile(
     r"^BM_ClusterSimReplay/trace:(\d+)/model:(\d+)/engine:(\d+)$")
+PIPELINE_NAME = re.compile(
+    r"^BM_PipelineSweep/jobs:(\d+)(?:/real_time)?$")
 MODEL_NAMES = {0: "volatile", 1: "write-aside", 2: "unified"}
+
+
+def is_e2e(name):
+    return name.startswith(E2E_PREFIXES)
 
 
 def run_benchmarks(bench, bench_filter, min_time, repetitions):
@@ -103,7 +115,63 @@ def add_speedups(e2e):
             "speedup": legacy_time / extent_time,
         }
     e2e["speedups"] = speedups
+
+    # Pipelined sweep: each jobs:N run against its jobs:1 baseline.
+    pipeline = {}
+    for name, entry in e2e["benchmarks"].items():
+        match = PIPELINE_NAME.match(name)
+        if match and entry.get("real_time_ns"):
+            pipeline[int(match.group(1))] = entry["real_time_ns"]
+    serial = pipeline.get(1)
+    pipeline_speedups = {}
+    if serial:
+        for jobs, time_ns in sorted(pipeline.items()):
+            if jobs == 1:
+                continue
+            pipeline_speedups[f"jobs{jobs}"] = {
+                "serial_ms": serial / 1e6,
+                "pipelined_ms": time_ns / 1e6,
+                "speedup": serial / time_ns,
+            }
+    e2e["pipeline_speedups"] = pipeline_speedups
     return e2e
+
+
+def load_e2e_baseline(baseline_path):
+    """Read the committed snapshot (before --e2e-output clobbers it —
+    they are usually the same file)."""
+    try:
+        with open(baseline_path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as error:
+        print(f"WARNING: cannot read e2e baseline {baseline_path}: "
+              f"{error}", file=sys.stderr)
+        return None
+
+
+def warn_e2e_regressions(current, baseline, baseline_path, warn_ratio):
+    """Diff whole-trace replays against the committed snapshot.
+
+    Only warns: the committed BENCH_e2e.json was recorded on some
+    other machine, so a slowdown here is a signal to look, not a CI
+    failure.
+    """
+    base = baseline.get("benchmarks", {})
+    warned = 0
+    for name, entry in sorted(current["benchmarks"].items()):
+        now = entry.get("real_time_ns")
+        before = base.get(name, {}).get("real_time_ns")
+        if not now or not before:
+            continue
+        ratio = now / before
+        if ratio > warn_ratio:
+            warned += 1
+            print(f"WARNING: {name} is {ratio:.2f}x the committed "
+                  f"baseline ({before / 1e6:.1f}ms -> "
+                  f"{now / 1e6:.1f}ms)", file=sys.stderr)
+    if warned == 0:
+        print(f"e2e replays within {warn_ratio:.2f}x of "
+              f"{baseline_path}")
 
 
 def compare(current, baseline, max_regression):
@@ -149,6 +217,15 @@ def main():
                         help="fail if any benchmark's real time grows "
                              "past this ratio vs the baseline "
                              "(e.g. 1.30 = 30%% slower)")
+    parser.add_argument("--e2e-baseline",
+                        help="committed BENCH_e2e.json to diff the "
+                             "whole-trace replays against (warns, "
+                             "never fails)")
+    parser.add_argument("--e2e-warn-regression", type=float,
+                        default=1.10,
+                        help="warn when an e2e replay is this much "
+                             "slower than the committed baseline "
+                             "(default 1.10 = 10%% slower)")
     parser.add_argument("--filter", dest="bench_filter", default=None,
                         help="--benchmark_filter regex")
     parser.add_argument("--min-time", type=float, default=0.05,
@@ -161,16 +238,16 @@ def main():
 
     raw = run_benchmarks(args.bench, args.bench_filter, args.min_time,
                          args.repetitions)
-    summary = summarize(
-        raw, lambda name: not name.startswith(E2E_PREFIX))
+    summary = summarize(raw, lambda name: not is_e2e(name))
     with open(args.output, "w") as fh:
         json.dump(summary, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.output} "
           f"({len(summary['benchmarks'])} benchmarks)")
 
-    e2e = add_speedups(
-        summarize(raw, lambda name: name.startswith(E2E_PREFIX)))
+    e2e_baseline = (load_e2e_baseline(args.e2e_baseline)
+                    if args.e2e_baseline else None)
+    e2e = add_speedups(summarize(raw, is_e2e))
     if e2e["benchmarks"]:
         with open(args.e2e_output, "w") as fh:
             json.dump(e2e, fh, indent=2, sort_keys=True)
@@ -181,6 +258,14 @@ def main():
             print(f"  {key}: {entry['legacy_ms']:.1f}ms -> "
                   f"{entry['extent_ms']:.1f}ms "
                   f"({entry['speedup']:.2f}x)")
+        for key, entry in sorted(e2e["pipeline_speedups"].items()):
+            print(f"  pipeline {key}: {entry['serial_ms']:.1f}ms -> "
+                  f"{entry['pipelined_ms']:.1f}ms "
+                  f"({entry['speedup']:.2f}x)")
+        if e2e_baseline is not None:
+            warn_e2e_regressions(e2e, e2e_baseline,
+                                 args.e2e_baseline,
+                                 args.e2e_warn_regression)
 
     if args.baseline:
         with open(args.baseline) as fh:

@@ -1,10 +1,13 @@
 #include "core/lifetime/lifetime.hpp"
 
 #include <unordered_map>
+#include <vector>
 
 #include "core/client/server_state.hpp"
+#include "prep/file_shards.hpp"
 #include "util/interval_set.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nvfs::core {
 
@@ -43,10 +46,22 @@ LifetimeResult::netWriteTrafficPct(TimeUs delay) const
            static_cast<double>(totalWritten);
 }
 
-LifetimeResult
-analyzeLifetimes(const prep::OpStream &ops)
+namespace {
+
+/**
+ * The serial lifetime scan, restricted to one file shard: `own`
+ * holds the shard's op indices and `migrates` every Migrate op
+ * (broadcast — its victims are found through this shard's own
+ * lastWriter map, so each shard flushes exactly its own files).
+ * Both lists are ascending, merged two-pointer so ops replay in
+ * stream order.
+ */
+void
+scanShard(const prep::OpColumns &col,
+          const std::vector<std::uint32_t> &own,
+          const std::vector<std::uint32_t> &migrates,
+          LifetimeResult &result)
 {
-    LifetimeResult result;
     ConsistencyEngine engine;
 
     // Per file: live dirty byte runs tagged with their birth time.
@@ -76,9 +91,16 @@ analyzeLifetimes(const prep::OpStream &ops)
     // Column scan: the dispatch path streams the time/type/file
     // columns; each case pulls only what it needs (byte-run extents
     // go straight into the IntervalMap — no per-block work anywhere).
-    const prep::OpColumns &col = ops.ops;
-    const std::size_t count = col.size();
-    for (std::size_t i = 0; i < count; ++i) {
+    std::size_t a = 0;
+    std::size_t m = 0;
+    while (a < own.size() || m < migrates.size()) {
+        std::size_t i;
+        if (m >= migrates.size() ||
+            (a < own.size() && own[a] < migrates[m])) {
+            i = own[a++];
+        } else {
+            i = migrates[m++];
+        }
         const TimeUs time = col.time[i];
         const FileId file = col.file[i];
         switch (col.type[i]) {
@@ -169,6 +191,42 @@ analyzeLifetimes(const prep::OpStream &ops)
             record(f, begin, end, birth, kTimeInfinity,
                    ByteFate::Remaining);
         });
+    }
+}
+
+} // namespace
+
+LifetimeResult
+analyzeLifetimes(const prep::OpStream &ops, util::ThreadPool *pool)
+{
+    util::ThreadPool &jobs =
+        pool != nullptr ? *pool : util::ThreadPool::ambient();
+    const prep::FileShards shards =
+        prep::FileShards::build(ops.ops, jobs);
+
+    std::vector<LifetimeResult> parts(prep::FileShards::kShardCount);
+    jobs.parallelFor(
+        0, prep::FileShards::kShardCount,
+        [&](std::size_t b, std::size_t e) {
+            for (std::size_t s = b; s < e; ++s)
+                scanShard(ops.ops, shards.indices[s],
+                          shards.migrates, parts[s]);
+        },
+        1);
+
+    // Shard-ordered concatenation keeps the run log deterministic
+    // for any worker count.
+    LifetimeResult result;
+    std::size_t total = 0;
+    for (const LifetimeResult &part : parts)
+        total += part.runs.size();
+    result.runs.reserve(total);
+    for (LifetimeResult &part : parts) {
+        result.runs.insert(result.runs.end(), part.runs.begin(),
+                           part.runs.end());
+        result.totalWritten += part.totalWritten;
+        for (std::size_t f = 0; f < part.byFate.size(); ++f)
+            result.byFate[f] += part.byFate[f];
     }
     return result;
 }

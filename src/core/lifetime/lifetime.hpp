@@ -22,6 +22,10 @@
 #include "prep/ops.hpp"
 #include "util/types.hpp"
 
+namespace nvfs::util {
+class ThreadPool;
+}
+
 namespace nvfs::core {
 
 /** What finally happened to a run of written bytes. */
@@ -82,7 +86,16 @@ struct LifetimeResult
     double netWriteTrafficPct(TimeUs delay) const;
 };
 
-/** Run the pass over a processed trace. */
-LifetimeResult analyzeLifetimes(const prep::OpStream &ops);
+/**
+ * Run the pass over a processed trace.  The cache state is keyed by
+ * file, so the scan runs across file shards on `pool` (nullptr = the
+ * ambient NVFS_JOBS pool); Migrate ops are broadcast to every shard
+ * (a migration flushes files that may live anywhere) and the shard
+ * run logs are concatenated in shard order, so the result is
+ * identical for any worker count.  Run order within the log is
+ * per-shard, not global — consumers aggregate, they don't replay.
+ */
+LifetimeResult analyzeLifetimes(const prep::OpStream &ops,
+                                util::ThreadPool *pool = nullptr);
 
 } // namespace nvfs::core

@@ -1,12 +1,35 @@
 #include "core/sim/sweep.hpp"
 
 #include "core/client/cluster_sim.hpp"
+#include "prep/converter.hpp"
+#include "trace/stream.hpp"
 
 namespace nvfs::core {
 
 SweepRunner::SweepRunner(unsigned jobs)
     : jobs_(jobs == 0 ? util::defaultJobCount() : jobs)
 {
+}
+
+std::vector<std::vector<Metrics>>
+SweepRunner::runTraceSweep(const std::vector<std::string> &trace_paths,
+                           const std::vector<ModelConfig> &models,
+                           std::uint64_t seed) const
+{
+    return runPipelined(
+        trace_paths,
+        [](const std::string &path) {
+            // Runs on a pool worker, so the mmap ingest's ambient
+            // parallelFor fans out across the same pool.
+            return prep::convertTrace(trace::readTraceFile(path));
+        },
+        [&models, seed](prep::OpStream ops) {
+            std::vector<Metrics> row;
+            row.reserve(models.size());
+            for (const ModelConfig &model : models)
+                row.push_back(runClientSim(ops, model, seed));
+            return row;
+        });
 }
 
 std::vector<Metrics>

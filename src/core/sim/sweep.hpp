@@ -17,12 +17,26 @@
 
 #include <exception>
 #include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/sim/experiments.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nvfs::core {
+
+/**
+ * NVFS_PIPELINE=0 disables ingest/replay overlap in pipelined
+ * sweeps (they fall back to strict prepare-then-replay per point).
+ */
+inline bool
+pipelineEnabled()
+{
+    return util::envInt("NVFS_PIPELINE", 1, 0, 1) != 0;
+}
 
 /** One server-study configuration in a sweep grid. */
 struct ServerSweepConfig
@@ -83,6 +97,78 @@ class SweepRunner
         }
         return results;
     }
+
+    /**
+     * Pipelined sweep over a sequence of *points* (typically traces):
+     * `prepare(point)` — ingest + prep, expensive and independent per
+     * point — runs ahead on a worker pool while `replay(prepared)`
+     * runs on the calling thread, strictly in point order.  With
+     * `jobs` workers, up to jobs-1 points are prepared ahead, so the
+     * ingest/prep of point k+1 overlaps the replay of point k.
+     *
+     * Results are identical to the serial prepare-then-replay loop
+     * for any worker count: replay order is fixed, each prepare sees
+     * only its own point, and a prepare that threw rethrows at its
+     * point's position.  `prepare` must not depend on replay state.
+     * Serial fallback: one job, one point, or NVFS_PIPELINE=0.
+     */
+    template <typename P, typename Prepare, typename Replay>
+    auto
+    runPipelined(const std::vector<P> &points, Prepare &&prepare,
+                 Replay &&replay) const
+        -> std::vector<std::invoke_result_t<
+            Replay &, std::invoke_result_t<Prepare &, const P &>>>
+    {
+        using Prepared = std::invoke_result_t<Prepare &, const P &>;
+        using R = std::invoke_result_t<Replay &, Prepared>;
+        std::vector<R> results;
+        results.reserve(points.size());
+        if (jobs_ <= 1 || points.size() <= 1 || !pipelineEnabled()) {
+            for (const P &point : points)
+                results.push_back(replay(prepare(point)));
+            return results;
+        }
+
+        const std::size_t depth =
+            std::min<std::size_t>(points.size(), jobs_ - 1);
+        util::ThreadPool pool(static_cast<unsigned>(depth));
+        std::vector<std::future<Prepared>> prepared(points.size());
+        std::size_t submitted = 0;
+        // packaged_task owns each prepare's exception, so the pool's
+        // own error channel stays clean and the throw surfaces from
+        // the future at the point's position in replay order.
+        auto submitPrepare = [&](std::size_t k) {
+            auto task =
+                std::make_shared<std::packaged_task<Prepared()>>(
+                    [&prepare, &points, k] {
+                        return prepare(points[k]);
+                    });
+            prepared[k] = task->get_future();
+            pool.submit([task] { (*task)(); });
+        };
+        for (; submitted < depth; ++submitted)
+            submitPrepare(submitted);
+        for (std::size_t k = 0; k < points.size(); ++k) {
+            Prepared ready = prepared[k].get();
+            // Refill the lookahead window before replaying, so the
+            // workers are never idle while the caller replays.
+            if (submitted < points.size())
+                submitPrepare(submitted++);
+            results.push_back(replay(std::move(ready)));
+        }
+        return results;
+    }
+
+    /**
+     * Pipelined multi-trace client sweep: each trace file is read
+     * (parallel mmap ingest) and converted while the previous
+     * trace's model grid replays.  Returns one Metrics row per
+     * trace, in trace order, each row in model order.
+     */
+    std::vector<std::vector<Metrics>>
+    runTraceSweep(const std::vector<std::string> &trace_paths,
+                  const std::vector<ModelConfig> &models,
+                  std::uint64_t seed = 42) const;
 
     /**
      * Run one client simulation per model over a shared op stream

@@ -16,6 +16,10 @@
 #include "prep/ops.hpp"
 #include "util/stats.hpp"
 
+namespace nvfs::util {
+class ThreadPool;
+}
+
 namespace nvfs::prep {
 
 /** Distribution summaries of one processed trace. */
@@ -55,7 +59,14 @@ struct WorkloadProfile
     std::string render(const std::string &title) const;
 };
 
-/** Characterize a processed trace. */
-WorkloadProfile characterize(const prep::OpStream &ops);
+/**
+ * Characterize a processed trace.  All profile state is keyed by
+ * file, so the scan runs across FileShards::kShardCount file shards
+ * on `pool` (nullptr = the ambient NVFS_JOBS pool) and merges the
+ * per-shard statistics in shard order — identical output for any
+ * worker count.
+ */
+WorkloadProfile characterize(const prep::OpStream &ops,
+                             util::ThreadPool *pool = nullptr);
 
 } // namespace nvfs::prep

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fixed per-file partition of an op stream for parallel prep passes.
+ *
+ * Every prep-side scan that keys its state by file (characterize,
+ * the byte-lifetime pass, the next-modify oracle) can run shards
+ * independently: ops are routed to one of kShardCount buckets by
+ * `file % kShardCount`, each bucket keeping its op indices in stream
+ * order.  The shard count is a constant — never the worker count — so
+ * the partition, the per-shard scan order, and any order-stable merge
+ * of shard results are identical for every NVFS_JOBS width.
+ *
+ * Migrate ops are routed to their own list instead of a file shard:
+ * they act on *every* file their (client, pid) last wrote, which can
+ * span shards, so passes that honor migrations merge the list into
+ * each shard's scan (two-pointer, by op index).  Passes that ignore
+ * Migrate simply never read the list.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "prep/ops.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nvfs::prep {
+
+/** Op indices of one stream, bucketed by file. */
+struct FileShards
+{
+    static constexpr std::size_t kShardCount = 16;
+
+    /** Per shard: indices of its ops, ascending (stream order). */
+    std::array<std::vector<std::uint32_t>, kShardCount> indices;
+
+    /** Indices of Migrate ops, ascending (no file shard owns them). */
+    std::vector<std::uint32_t> migrates;
+
+    /** Which shard owns a file's ops. */
+    static std::size_t
+    shardOf(FileId file)
+    {
+        return file % kShardCount;
+    }
+
+    /**
+     * Partition `col` on `pool`.  Counting sort in two parallel
+     * passes over fixed chunks, so the bucket contents are
+     * byte-identical for any worker count.
+     */
+    static FileShards
+    build(const OpColumns &col, util::ThreadPool &pool)
+    {
+        FileShards shards;
+        const std::size_t n = col.size();
+        if (n == 0)
+            return shards;
+        // One slot per shard plus one for the Migrate list.
+        constexpr std::size_t kBuckets = kShardCount + 1;
+        auto bucketOf = [&col](std::size_t i) {
+            return col.type[i] == OpType::Migrate
+                       ? kShardCount
+                       : shardOf(col.file[i]);
+        };
+
+        // Same fixed chunking rule as parallelFor's auto grain, made
+        // explicit here because the fill pass needs each iteration
+        // range to map back to its chunk's cursor block.
+        const std::size_t grain = (n + 63) / 64;
+        const std::size_t chunks = (n + grain - 1) / grain;
+        std::vector<std::array<std::uint32_t, kBuckets>> counts(
+            chunks, std::array<std::uint32_t, kBuckets>{});
+        pool.parallelFor(
+            0, n,
+            [&](std::size_t b, std::size_t e) {
+                auto &mine = counts[b / grain];
+                for (std::size_t i = b; i < e; ++i)
+                    ++mine[bucketOf(i)];
+            },
+            grain);
+
+        std::array<std::uint32_t, kBuckets> totals{};
+        std::vector<std::array<std::uint32_t, kBuckets>> offsets(
+            chunks);
+        for (std::size_t c = 0; c < chunks; ++c) {
+            for (std::size_t s = 0; s < kBuckets; ++s) {
+                offsets[c][s] = totals[s];
+                totals[s] += counts[c][s];
+            }
+        }
+        for (std::size_t s = 0; s < kShardCount; ++s)
+            shards.indices[s].resize(totals[s]);
+        shards.migrates.resize(totals[kShardCount]);
+
+        pool.parallelFor(
+            0, n,
+            [&](std::size_t b, std::size_t e) {
+                auto cursor = offsets[b / grain];
+                for (std::size_t i = b; i < e; ++i) {
+                    const std::size_t s = bucketOf(i);
+                    auto &bucket = s == kShardCount
+                                       ? shards.migrates
+                                       : shards.indices[s];
+                    bucket[cursor[s]++] =
+                        static_cast<std::uint32_t>(i);
+                }
+            },
+            grain);
+        return shards;
+    }
+};
+
+} // namespace nvfs::prep

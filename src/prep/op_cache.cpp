@@ -8,12 +8,11 @@
 #include <mutex>
 
 #include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
 #include <unistd.h>
 
 #include "trace/codec.hpp"
 #include "util/log.hpp"
+#include "util/mapped_file.hpp"
 #include "util/table.hpp"
 
 namespace nvfs::prep {
@@ -225,28 +224,16 @@ opsCacheFileName(std::uint16_t trace_index, std::uint64_t profile_hash)
 std::optional<OpStream>
 loadCachedOps(const std::string &path, std::uint64_t expected_hash)
 {
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0)
+    const auto map = util::MappedFile::open(path);
+    if (!map.has_value())
         return std::nullopt; // cache miss (or unreadable — same thing)
-    struct stat st{};
-    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
-        ::close(fd);
-        return std::nullopt;
-    }
-    const auto size = static_cast<std::size_t>(st.st_size);
-    if (size == 0) {
-        ::close(fd);
+    if (map->size() == 0) {
         util::warn("trace cache: empty file " + path +
                    "; regenerating");
         return std::nullopt;
     }
-    void *map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-    ::close(fd);
-    if (map == MAP_FAILED)
-        return std::nullopt;
-    auto stream = decodeOpsCache(
-        static_cast<const std::uint8_t *>(map), size, expected_hash);
-    ::munmap(map, size);
+    auto stream =
+        decodeOpsCache(map->data(), map->size(), expected_hash);
     if (!stream) {
         util::warn("trace cache: rejected " + path +
                    " (corrupt, truncated, or stale); regenerating");

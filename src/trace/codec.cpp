@@ -28,6 +28,25 @@ encodeEvent(const Event &event, std::ostream &out)
     out.write(reinterpret_cast<const char *>(buf.data()), buf.size());
 }
 
+bool
+decodeEventBytes(const std::uint8_t *record, Event &out)
+{
+    const std::uint8_t *cursor = record;
+    out.time = static_cast<TimeUs>(getLE<std::uint64_t>(cursor));
+    out.offset = getLE<Bytes>(cursor);
+    out.length = getLE<Bytes>(cursor);
+    out.file = getLE<FileId>(cursor);
+    out.pid = getLE<ProcId>(cursor);
+    out.client = getLE<ClientId>(cursor);
+    out.targetClient = getLE<ClientId>(cursor);
+    const auto raw_type = getLE<std::uint8_t>(cursor);
+    if (raw_type > static_cast<std::uint8_t>(EventType::EndOfTrace))
+        return false;
+    out.type = static_cast<EventType>(raw_type);
+    out.flags = getLE<std::uint32_t>(cursor);
+    return true;
+}
+
 std::optional<Event>
 decodeEvent(std::istream &in)
 {
@@ -37,27 +56,16 @@ decodeEvent(std::istream &in)
         return std::nullopt;
     if (static_cast<std::size_t>(in.gcount()) != buf.size())
         util::fatal("truncated trace record");
-    const std::uint8_t *cursor = buf.data();
     Event event;
-    event.time = static_cast<TimeUs>(getLE<std::uint64_t>(cursor));
-    event.offset = getLE<Bytes>(cursor);
-    event.length = getLE<Bytes>(cursor);
-    event.file = getLE<FileId>(cursor);
-    event.pid = getLE<ProcId>(cursor);
-    event.client = getLE<ClientId>(cursor);
-    event.targetClient = getLE<ClientId>(cursor);
-    const auto raw_type = getLE<std::uint8_t>(cursor);
-    if (raw_type > static_cast<std::uint8_t>(EventType::EndOfTrace))
+    if (!decodeEventBytes(buf.data(), event))
         util::fatal("corrupt trace record: bad event type");
-    event.type = static_cast<EventType>(raw_type);
-    event.flags = getLE<std::uint32_t>(cursor);
     return event;
 }
 
 void
 encodeHeader(const TraceHeader &header, std::ostream &out)
 {
-    std::array<std::uint8_t, 32> buf{};
+    std::array<std::uint8_t, kTraceHeaderSize> buf{};
     std::uint8_t *cursor = buf.data();
     putLE(cursor, kTraceMagic);
     putLE(cursor, header.version);
@@ -68,25 +76,41 @@ encodeHeader(const TraceHeader &header, std::ostream &out)
     out.write(reinterpret_cast<const char *>(buf.data()), buf.size());
 }
 
-TraceHeader
-decodeHeader(std::istream &in)
+std::optional<TraceHeader>
+decodeHeaderBytes(const std::uint8_t *data, std::string *error)
 {
-    std::array<std::uint8_t, 32> buf{};
-    in.read(reinterpret_cast<char *>(buf.data()), buf.size());
-    if (static_cast<std::size_t>(in.gcount()) != buf.size())
-        util::fatal("truncated trace header");
-    const std::uint8_t *cursor = buf.data();
-    if (getLE<std::uint32_t>(cursor) != kTraceMagic)
-        util::fatal("not an nvfs trace file (bad magic)");
+    const std::uint8_t *cursor = data;
+    if (getLE<std::uint32_t>(cursor) != kTraceMagic) {
+        if (error != nullptr)
+            *error = "not an nvfs trace file (bad magic)";
+        return std::nullopt;
+    }
     TraceHeader header;
     header.version = getLE<std::uint16_t>(cursor);
-    if (header.version != kTraceVersion)
-        util::fatal("unsupported trace version");
+    if (header.version != kTraceVersion) {
+        if (error != nullptr)
+            *error = "unsupported trace version";
+        return std::nullopt;
+    }
     header.traceIndex = getLE<std::uint16_t>(cursor);
     header.clientCount = getLE<std::uint32_t>(cursor);
     header.duration = static_cast<TimeUs>(getLE<std::uint64_t>(cursor));
     header.eventCount = getLE<std::uint64_t>(cursor);
     return header;
+}
+
+TraceHeader
+decodeHeader(std::istream &in)
+{
+    std::array<std::uint8_t, kTraceHeaderSize> buf{};
+    in.read(reinterpret_cast<char *>(buf.data()), buf.size());
+    if (static_cast<std::size_t>(in.gcount()) != buf.size())
+        util::fatal("truncated trace header");
+    std::string error;
+    const auto header = decodeHeaderBytes(buf.data(), &error);
+    if (!header.has_value())
+        util::fatal(error);
+    return *header;
 }
 
 std::optional<Event>

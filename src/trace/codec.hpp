@@ -118,6 +118,26 @@ std::optional<Event> decodeEvent(std::istream &in);
 inline constexpr std::size_t kRecordSize = 8 + 8 + 8 + 4 + 4 + 2 + 2 + 1 +
                                            4 + 3; // padded to 44
 
+/** Size in bytes of the encoded header. */
+inline constexpr std::size_t kTraceHeaderSize = 32;
+
+/**
+ * Decode one record from exactly kRecordSize in-memory bytes (the
+ * mmap-based parallel reader's primitive — no stream, no allocation,
+ * no fatal, so it is safe to call from worker threads).  Returns
+ * false on a corrupt record (bad event type).
+ */
+bool decodeEventBytes(const std::uint8_t *record, Event &out);
+
+/**
+ * Decode and validate a header from kTraceHeaderSize in-memory
+ * bytes.  On failure returns nullopt and sets *error to a message
+ * ("bad magic" / "unsupported trace version"); never fatal, so the
+ * caller can attach file context first.
+ */
+std::optional<TraceHeader> decodeHeaderBytes(const std::uint8_t *data,
+                                             std::string *error);
+
 /** Write the header. */
 void encodeHeader(const TraceHeader &header, std::ostream &out);
 

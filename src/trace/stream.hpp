@@ -16,6 +16,10 @@
 #include "trace/codec.hpp"
 #include "trace/event.hpp"
 
+namespace nvfs::util {
+class ThreadPool;
+}
+
 namespace nvfs::trace {
 
 /** An in-memory trace: header metadata plus its events in time order. */
@@ -39,13 +43,32 @@ struct TraceBuffer
 /** Write a TraceBuffer to a binary trace file. Fatal on I/O error. */
 void writeTraceFile(const std::string &path, const TraceBuffer &buffer);
 
-/** Read a binary trace file fully into memory. Fatal on error. */
-TraceBuffer readTraceFile(const std::string &path);
+/**
+ * Read a binary trace file fully into memory.  Fatal on error, with
+ * the path and errno/record context in the message.
+ *
+ * The file is mmapped, the event vector sized exactly from the
+ * record count, and the fixed-width records decoded in parallel on
+ * `pool` (nullptr = the ambient NVFS_JOBS pool) into disjoint slots
+ * — the result is byte-identical to the serial loop for any width.
+ */
+TraceBuffer readTraceFile(const std::string &path,
+                          util::ThreadPool *pool = nullptr);
 
 /** Write a TraceBuffer as text, one event per line with a header. */
 void writeTraceText(const std::string &path, const TraceBuffer &buffer);
 
-/** Read a text trace file (blank lines and '#' comments skipped). */
-TraceBuffer readTraceText(const std::string &path);
+/**
+ * Read a text trace file (blank lines and '#' comments skipped).
+ * Fatal on error, reporting path:line plus the offending field.
+ *
+ * The file is mmapped and split into fixed-size byte chunks (the
+ * split depends only on the file size, never the worker count); each
+ * chunk parses the lines *beginning* inside it, and the per-chunk
+ * event runs are spliced back in file order, so the result is
+ * byte-identical to the serial getline loop for any width.
+ */
+TraceBuffer readTraceText(const std::string &path,
+                          util::ThreadPool *pool = nullptr);
 
 } // namespace nvfs::trace

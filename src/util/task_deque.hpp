@@ -1,0 +1,165 @@
+/**
+ * @file
+ * A Chase–Lev work-stealing deque of task pointers.
+ *
+ * The owner thread pushes and pops at the *bottom* (LIFO, so nested
+ * fan-out keeps its working set hot); thief threads steal from the
+ * *top* (FIFO, so the oldest — usually largest — tasks migrate).
+ * Implements the dynamic circular work-stealing deque of Chase & Lev
+ * with the C11 memory orderings of Lê et al. ("Correct and Efficient
+ * Work-Stealing for Weakly Ordered Memory Models"): the only
+ * synchronization is one CAS per steal and one seq_cst fence in the
+ * owner's pop, so a worker draining its own queue never contends with
+ * anyone.
+ *
+ * Storage grows geometrically and retired buffers are kept alive
+ * until destruction: a thief may still be reading a slot of an old
+ * buffer after the owner grew, which is harmless — the top_ CAS
+ * decides ownership of the element, the stale read is discarded.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nvfs::util {
+
+/** Work-stealing deque of T* (does not own the pointees). */
+template <typename T>
+class TaskDeque
+{
+  public:
+    explicit TaskDeque(std::size_t capacity = 64)
+        : buffer_(new Buffer(roundUpPow2(capacity)))
+    {
+    }
+
+    TaskDeque(const TaskDeque &) = delete;
+    TaskDeque &operator=(const TaskDeque &) = delete;
+
+    ~TaskDeque()
+    {
+        Buffer *buf = buffer_.load(std::memory_order_relaxed);
+        while (buf != nullptr) {
+            Buffer *prev = buf->prev;
+            delete buf;
+            buf = prev;
+        }
+    }
+
+    /** Owner only: push one task at the bottom. */
+    void
+    push(T *item)
+    {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_acquire);
+        Buffer *buf = buffer_.load(std::memory_order_relaxed);
+        if (b - t >= static_cast<std::int64_t>(buf->slots.size()))
+            buf = grow(buf, t, b);
+        buf->slots[static_cast<std::size_t>(b) & buf->mask].store(
+            item, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_release);
+    }
+
+    /** Owner only: pop the most recently pushed task, or nullptr. */
+    T *
+    pop()
+    {
+        const std::int64_t b =
+            bottom_.load(std::memory_order_relaxed) - 1;
+        Buffer *buf = buffer_.load(std::memory_order_relaxed);
+        bottom_.store(b, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_relaxed);
+        T *item = nullptr;
+        if (t <= b) {
+            item = buf->slots[static_cast<std::size_t>(b) & buf->mask]
+                       .load(std::memory_order_relaxed);
+            if (t == b) {
+                // Last element: race the thieves for it.
+                if (!top_.compare_exchange_strong(
+                        t, t + 1, std::memory_order_seq_cst,
+                        std::memory_order_relaxed)) {
+                    item = nullptr; // a thief got it
+                }
+                bottom_.store(b + 1, std::memory_order_relaxed);
+            }
+        } else {
+            bottom_.store(b + 1, std::memory_order_relaxed);
+        }
+        return item;
+    }
+
+    /** Any thread: steal the oldest task, or nullptr (empty/lost). */
+    T *
+    steal()
+    {
+        std::int64_t t = top_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const std::int64_t b = bottom_.load(std::memory_order_acquire);
+        if (t >= b)
+            return nullptr;
+        Buffer *buf = buffer_.load(std::memory_order_acquire);
+        T *item = buf->slots[static_cast<std::size_t>(t) & buf->mask]
+                      .load(std::memory_order_relaxed);
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+            return nullptr; // lost the race; caller rescans
+        }
+        return item;
+    }
+
+    /** Racy size estimate (for wake/idle heuristics only). */
+    bool
+    maybeEmpty() const
+    {
+        return bottom_.load(std::memory_order_relaxed) <=
+               top_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Buffer
+    {
+        explicit Buffer(std::size_t n) : slots(n), mask(n - 1) {}
+
+        std::vector<std::atomic<T *>> slots;
+        std::size_t mask;
+        Buffer *prev = nullptr; ///< retired predecessor chain
+    };
+
+    static std::size_t
+    roundUpPow2(std::size_t n)
+    {
+        std::size_t p = 1;
+        while (p < n)
+            p <<= 1;
+        return p < 2 ? 2 : p;
+    }
+
+    /** Owner only: double the buffer, keeping [top, bottom) live. */
+    Buffer *
+    grow(Buffer *old, std::int64_t top, std::int64_t bottom)
+    {
+        auto *bigger = new Buffer(old->slots.size() * 2);
+        for (std::int64_t i = top; i < bottom; ++i) {
+            bigger->slots[static_cast<std::size_t>(i) & bigger->mask]
+                .store(old->slots[static_cast<std::size_t>(i) &
+                                  old->mask]
+                           .load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+        }
+        bigger->prev = old;
+        buffer_.store(bigger, std::memory_order_release);
+        return bigger;
+    }
+
+    std::atomic<std::int64_t> top_{0};
+    std::atomic<std::int64_t> bottom_{0};
+    std::atomic<Buffer *> buffer_;
+};
+
+} // namespace nvfs::util

@@ -9,12 +9,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <numeric>
+#include <optional>
+#include <string>
 
 #include "core/sim/sweep.hpp"
 #include "prep/op_cache.hpp"
+#include "trace/stream.hpp"
 #include "util/thread_pool.hpp"
+#include "workload/generator.hpp"
 
 namespace nvfs::core {
 namespace {
@@ -66,6 +73,124 @@ TEST(ThreadPool, WaitIsReusable)
 TEST(ThreadPool, DefaultJobCountIsPositive)
 {
     EXPECT_GE(util::defaultJobCount(), 1u);
+}
+
+TEST(ThreadPool, WorkStealingNestedSubmissionStress)
+{
+    // A recursive fan-out of many tiny tasks: each task submits four
+    // children from inside the pool (landing on the executing
+    // worker's own deque), so completion requires idle workers to
+    // steal.  Total tasks: 1 + 4 + ... + 4^5 = 1365.
+    util::ThreadPool pool(4);
+    std::atomic<int> count{0};
+    std::function<void(int)> fan = [&](int depth) {
+        ++count;
+        if (depth == 0)
+            return;
+        for (int i = 0; i < 4; ++i)
+            pool.submit([&fan, depth] { fan(depth - 1); });
+    };
+    pool.submit([&fan] { fan(5); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1365);
+}
+
+TEST(ThreadPool, ThrowingTaskSurfacesToWaitAndPoolStaysUsable)
+{
+    // Regression: a task that throws must not deadlock shutdown or
+    // wedge the pool; the first exception reaches the next wait(),
+    // every other task still runs, and the pool is reusable after.
+    util::ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([&ran, i] {
+            ++ran;
+            if (i % 8 == 0)
+                throw std::runtime_error("task blew up");
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 32);
+    pool.submit([&ran] { ++ran; });
+    pool.wait(); // error was consumed above; this must not throw
+    EXPECT_EQ(ran.load(), 33);
+}
+
+TEST(ThreadPool, ThrowingTasksDoNotDeadlockDestruction)
+{
+    // Destroying a pool with unobserved task exceptions (wait() never
+    // called) must join cleanly instead of terminating or hanging.
+    util::ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i)
+        pool.submit([] { throw std::runtime_error("unobserved"); });
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    const std::size_t n = 10007; // prime: chunks never divide evenly
+    for (const unsigned jobs : {1u, 2u, 8u}) {
+        util::ThreadPool pool(jobs);
+        std::vector<int> touched(n, 0);
+        pool.parallelFor(0, n, [&touched](std::size_t b,
+                                          std::size_t e) {
+            for (std::size_t i = b; i < e; ++i)
+                ++touched[i]; // chunks are disjoint: no race
+        });
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(touched[i], 1) << "index " << i << " at "
+                                     << jobs << " jobs";
+    }
+}
+
+TEST(ThreadPool, ParallelReduceBitIdenticalAcrossWidths)
+{
+    // Floating-point reduction: the chunk structure and combine order
+    // depend only on the iteration count, so the sum must be
+    // *bit-identical* (EXPECT_EQ, not NEAR) for any worker count.
+    const std::size_t n = 4999;
+    const auto produce = [](std::size_t b, std::size_t e) {
+        double sum = 0.0;
+        for (std::size_t i = b; i < e; ++i)
+            sum += std::sin(static_cast<double>(i)) +
+                   1.0 / static_cast<double>(i + 1);
+        return sum;
+    };
+    const auto combine = [](double a, double b) { return a + b; };
+    std::optional<double> reference;
+    for (const unsigned jobs : {1u, 2u, 3u, 8u}) {
+        util::ThreadPool pool(jobs);
+        const double value =
+            pool.parallelReduce(0, n, 0.0, produce, combine);
+        if (!reference)
+            reference = value;
+        else
+            EXPECT_EQ(*reference, value)
+                << "reduction diverged at " << jobs << " jobs";
+    }
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestChunkException)
+{
+    // Two chunks throw; the lowest-index chunk's exception must win
+    // regardless of which worker reached it first — that is what
+    // makes parallel error reporting match the serial loop.
+    for (const unsigned jobs : {1u, 4u}) {
+        util::ThreadPool pool(jobs);
+        std::string what;
+        try {
+            pool.parallelFor(
+                0, 64,
+                [](std::size_t b, std::size_t) {
+                    if (b == 3 || b == 10)
+                        throw std::runtime_error(
+                            "chunk " + std::to_string(b));
+                },
+                1);
+        } catch (const std::runtime_error &error) {
+            what = error.what();
+        }
+        EXPECT_EQ(what, "chunk 3") << "at " << jobs << " jobs";
+    }
 }
 
 TEST(SweepRunner, MapPreservesSubmissionOrder)
@@ -275,6 +400,97 @@ TEST(SweepRunner, StressManyMoreTasksThanThreads)
     ASSERT_EQ(results.size(), 32u);
     for (const Metrics &metrics : results)
         EXPECT_EQ(metrics, expected);
+}
+
+TEST(SweepRunner, PipelinedPreservesPointOrderAndResults)
+{
+    // replay runs on the calling thread in strict point order even
+    // though prepares complete out of order on the pool.
+    std::vector<int> points(9);
+    std::iota(points.begin(), points.end(), 0);
+    std::vector<int> replay_order;
+    const SweepRunner runner(4);
+    const auto results = runner.runPipelined(
+        points, [](const int &p) { return p * 10; },
+        [&replay_order](int v) {
+            replay_order.push_back(v / 10);
+            return v + 1;
+        });
+    ASSERT_EQ(results.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(results[i], static_cast<int>(i) * 10 + 1);
+    ASSERT_EQ(replay_order.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(replay_order[i], static_cast<int>(i));
+}
+
+TEST(SweepRunner, PipelinedRethrowsPrepareErrorAtItsPoint)
+{
+    // A prepare that throws must surface at its point's position in
+    // replay order: every earlier point replays, no later one does.
+    std::vector<int> points(8);
+    std::iota(points.begin(), points.end(), 0);
+    std::vector<int> replayed;
+    const SweepRunner runner(4);
+    EXPECT_THROW(
+        runner.runPipelined(
+            points,
+            [](const int &p) {
+                if (p == 5)
+                    throw std::runtime_error("prepare 5 failed");
+                return p;
+            },
+            [&replayed](int v) {
+                replayed.push_back(v);
+                return v;
+            }),
+        std::runtime_error);
+    ASSERT_EQ(replayed.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(replayed[i], i);
+}
+
+TEST(SweepRunner, TraceSweepPipelinedMatchesSerial)
+{
+    // Full acceptance path: real trace files through the pipelined
+    // multi-trace sweep.  Pipelining on (4 jobs), pipelining disabled
+    // via NVFS_PIPELINE=0, and the plain serial runner must all
+    // produce byte-identical metric tables.
+    const std::string dir = testing::TempDir() + "nvfs_pipe_sweep";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    std::vector<std::string> paths;
+    for (const int t : {3, 4, 7}) {
+        const std::string path =
+            dir + "/trace" + std::to_string(t) + ".nvt";
+        trace::writeTraceFile(
+            path, workload::generateStandardTrace(t, 0.01));
+        paths.push_back(path);
+    }
+    const auto models = standardGrid();
+
+    const auto serial = SweepRunner(1).runTraceSweep(paths, models);
+    const auto piped = SweepRunner(4).runTraceSweep(paths, models);
+    ::setenv("NVFS_PIPELINE", "0", 1);
+    const auto strict = SweepRunner(4).runTraceSweep(paths, models);
+    ::unsetenv("NVFS_PIPELINE");
+
+    ASSERT_EQ(serial.size(), paths.size());
+    ASSERT_EQ(piped.size(), paths.size());
+    ASSERT_EQ(strict.size(), paths.size());
+    for (std::size_t r = 0; r < paths.size(); ++r) {
+        ASSERT_EQ(serial[r].size(), models.size());
+        ASSERT_EQ(piped[r].size(), models.size());
+        ASSERT_EQ(strict[r].size(), models.size());
+        for (std::size_t c = 0; c < models.size(); ++c) {
+            EXPECT_EQ(piped[r][c], serial[r][c])
+                << "trace " << r << " model " << c
+                << " diverged when pipelined";
+            EXPECT_EQ(strict[r][c], serial[r][c])
+                << "trace " << r << " model " << c
+                << " diverged with NVFS_PIPELINE=0";
+        }
+    }
 }
 
 } // namespace

@@ -338,12 +338,37 @@ cmdServer(const Args &args)
     return 0;
 }
 
+/** Render one sweep grid's results (model x NVRAM size). */
+void
+printSweepTable(const std::string &title,
+                const std::vector<std::string> &model_names,
+                const std::vector<std::string> &nvram_sizes,
+                const std::vector<core::Metrics> &results)
+{
+    std::vector<std::string> headers = {"NVRAM"};
+    for (const std::string &name : model_names) {
+        headers.push_back(name + " write%");
+        headers.push_back(name + " total%");
+    }
+    util::TextTable table(std::move(headers));
+    std::size_t next = 0;
+    for (const std::string &size_text : nvram_sizes) {
+        std::vector<std::string> row = {size_text};
+        for (std::size_t m = 0; m < model_names.size(); ++m) {
+            const core::Metrics &metrics = results[next++];
+            row.push_back(
+                util::format("%.1f", metrics.netWriteTrafficPct()));
+            row.push_back(
+                util::format("%.1f", metrics.netTotalTrafficPct()));
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\n", table.render(title).c_str());
+}
+
 int
 cmdSweep(const Args &args)
 {
-    const auto buffer = loadOrGenerate(args);
-    const auto ops = prep::convertTrace(buffer);
-
     const auto model_names =
         splitList(args.get("models", "volatile,write-aside,unified"));
     const auto nvram_sizes =
@@ -373,31 +398,58 @@ cmdSweep(const Args &args)
 
     const core::SweepRunner runner(
         static_cast<unsigned>(args.getInt("jobs", 0)));
-    const auto results = runner.runClientSweep(ops, models);
 
-    std::vector<std::string> headers = {"NVRAM"};
-    for (const std::string &name : model_names) {
-        headers.push_back(name + " write%");
-        headers.push_back(name + " total%");
-    }
-    util::TextTable table(std::move(headers));
-    std::size_t next = 0;
-    for (const std::string &size_text : nvram_sizes) {
-        std::vector<std::string> row = {size_text};
-        for (std::size_t m = 0; m < model_names.size(); ++m) {
-            const core::Metrics &metrics = results[next++];
-            row.push_back(
-                util::format("%.1f", metrics.netWriteTrafficPct()));
-            row.push_back(
-                util::format("%.1f", metrics.netTotalTrafficPct()));
+    // Comma lists (--trace 3,4,7 or --in a,b,c) run the pipelined
+    // mode: ingest/prep of trace k+1 overlaps the replay of trace k
+    // (NVFS_PIPELINE=0 falls back to strict serial order).
+    const auto point_list = args.has("in")
+                                ? splitList(args.get("in"))
+                                : splitList(args.get("trace", ""));
+    if (point_list.size() > 1) {
+        const double scale = args.getDouble("scale", 0.25);
+        const bool from_files = args.has("in");
+        const bool text = args.has("text");
+        const bool compat = args.has("compat");
+        const auto per_trace = runner.runPipelined(
+            point_list,
+            [&](const std::string &point) {
+                trace::TraceBuffer buffer;
+                if (from_files) {
+                    buffer = text ? trace::readTraceText(point)
+                                  : trace::readTraceFile(point);
+                } else {
+                    const auto number = util::tryParseInt(point);
+                    if (!number.has_value())
+                        util::fatal("--trace expects integers, got '" +
+                                    point + "'");
+                    buffer = workload::generateStandardTrace(
+                        static_cast<int>(*number), scale, compat);
+                }
+                return prep::convertTrace(buffer);
+            },
+            [&](prep::OpStream ops) {
+                std::vector<core::Metrics> row;
+                row.reserve(models.size());
+                for (const core::ModelConfig &model : models)
+                    row.push_back(core::runClientSim(ops, model));
+                return row;
+            });
+        for (std::size_t t = 0; t < point_list.size(); ++t) {
+            printSweepTable(
+                util::format("pipelined sweep %s, %u jobs, %zu runs",
+                             point_list[t].c_str(), runner.jobs(),
+                             models.size()),
+                model_names, nvram_sizes, per_trace[t]);
         }
-        table.addRow(std::move(row));
+        return 0;
     }
-    std::printf("%s\n",
-                table.render(util::format(
-                                 "parallel sweep, %u jobs, %zu runs",
-                                 runner.jobs(), models.size()))
-                    .c_str());
+
+    const auto buffer = loadOrGenerate(args);
+    const auto ops = prep::convertTrace(buffer);
+    const auto results = runner.runClientSweep(ops, models);
+    printSweepTable(util::format("parallel sweep, %u jobs, %zu runs",
+                                 runner.jobs(), models.size()),
+                    model_names, nvram_sizes, results);
     return 0;
 }
 
@@ -453,7 +505,7 @@ usage()
         "lru|random|clock]\n"
         "           [--block-callbacks] [--crash 300s:0]\n"
         "  server   [--hours 24] [--buffer 512K] [--scale S]\n"
-        "  sweep    --trace N [--scale S] [--jobs N]\n"
+        "  sweep    --trace N[,N...] [--scale S] [--jobs N]\n"
         "           [--models volatile,write-aside,unified]\n"
         "           [--nvram 0.5M,1M,2M,4M] [--volatile 8M]\n"
         "           [--policy lru]\n"
