@@ -267,6 +267,43 @@ BM_SweepRunner(benchmark::State &state)
 }
 BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
+void
+BM_ReplayGrid(benchmark::State &state)
+{
+    // The replay grid scheduler itself: both engines x all three
+    // models on trace 4, fanned out at explicit width jobs (1 = the
+    // serial model loop the grid is bit-identical to).  The jobs:N /
+    // jobs:1 real-time ratio is the grid speedup in BENCH_e2e.json.
+    const auto width = static_cast<unsigned>(state.range(0));
+    const auto &ops = core::standardOps(4, 0.05);
+    std::vector<core::ModelConfig> models;
+    for (const bool extent : {false, true}) {
+        for (const auto kind :
+             {core::ModelKind::Volatile, core::ModelKind::WriteAside,
+              core::ModelKind::Unified}) {
+            core::ModelConfig model;
+            model.kind = kind;
+            model.volatileBytes = 8 * kMiB;
+            model.nvramBytes = kMiB;
+            model.extentOps = extent;
+            models.push_back(model);
+        }
+    }
+    for (auto _ : state) {
+        const auto results =
+            core::runClientGrid(ops, models, 42, width);
+        benchmark::DoNotOptimize(results.front().appWriteBytes);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(models.size()));
+}
+BENCHMARK(BM_ReplayGrid)
+    ->ArgName("jobs")
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 /** Trace file on disk for the ingest/pipeline benches, written once. */
 const std::string &
 benchTracePath(int trace, bool text)

@@ -152,19 +152,23 @@ class ExtentIndex
         }
         // entry[j].block - j is non-decreasing; the run of consecutive
         // blocks starting at pos is exactly the prefix where it stays
-        // equal to entry[pos].block - pos.
+        // equal to entry[pos].block - pos.  Branchless search for the
+        // last index of that prefix (same conditional-move shape as
+        // lowerBound; `base` always satisfies the predicate).
         const std::uint64_t key =
             std::uint64_t{fx->v[pos].block} - pos;
-        std::size_t lo = pos;
-        std::size_t hi = fx->v.size(); // first index past the run
-        while (lo + 1 < hi) {
-            const std::size_t mid = lo + (hi - lo) / 2;
-            if (std::uint64_t{fx->v[mid].block} - mid == key)
-                lo = mid;
-            else
-                hi = mid;
+        const Entry *data = fx->v.data();
+        const Entry *base = data + pos;
+        std::size_t n = fx->v.size() - pos;
+        while (n > 1) {
+            const std::size_t half = n / 2;
+            const std::size_t j =
+                static_cast<std::size_t>(base - data) + half;
+            base += (std::uint64_t{data[j].block} - j == key) ? half
+                                                              : 0;
+            n -= half;
         }
-        const std::uint32_t run_end = fx->v[lo].block + 1;
+        const std::uint32_t run_end = base->block + 1;
         return {true, std::min<std::uint32_t>(run_end, last + 1)};
     }
 
@@ -231,21 +235,48 @@ class ExtentIndex
          *  (the prefix is the front gap). */
         std::vector<Entry> v;
         std::size_t begin = 0;
+        /** Last lowerBound() result.  Sequential streams probe the
+         *  same neighbourhood over and over; one comparison against
+         *  the hint halves the remaining range (or nails the answer)
+         *  before the search starts.  Purely an accelerator: the hint
+         *  is validated by that comparison, so a stale value can never
+         *  change the result, only the split points. */
+        mutable std::size_t hint = 0;
 
-        /** Index of the first live entry with block >= `block`. */
+        /** Index of the first live entry with block >= `block`.
+         *  Branchless: the search range is narrowed with conditional
+         *  moves (no data-dependent branch for the predictor to miss
+         *  on — block indices from a replay are effectively random
+         *  probes into the extent vector). */
         std::size_t
         lowerBound(std::uint32_t block) const
         {
             std::size_t lo = begin;
             std::size_t hi = v.size();
-            while (lo < hi) {
-                const std::size_t mid = lo + (hi - lo) / 2;
-                if (v[mid].block < block)
-                    lo = mid + 1;
+            const std::size_t h = hint;
+            if (h >= lo && h < hi) {
+                // One probe at the previous answer: the result lies
+                // entirely on one side of it.
+                if (v[h].block < block)
+                    lo = h + 1;
                 else
-                    hi = mid;
+                    hi = h + 1;
             }
-            return lo;
+            // Invariant: the answer is in [base, base + n].  Each step
+            // keeps the invariant while halving n, with the direction
+            // chosen by a flag-to-register move instead of a branch.
+            const Entry *base = v.data() + lo;
+            std::size_t n = hi - lo;
+            while (n > 1) {
+                const std::size_t half = n / 2;
+                base += (base[half - 1].block < block) ? half : 0;
+                n -= half;
+            }
+            std::size_t pos =
+                static_cast<std::size_t>(base - v.data());
+            pos += (n == 1 && base->block < block) ? 1 : 0;
+            hint = pos;
+            return pos;
         }
     };
 

@@ -86,6 +86,23 @@ ClientModel::serverWriteBlock(const cache::BlockId &id,
     return bytes;
 }
 
+Bytes
+ClientModel::serverWriteRun(FileId file, std::uint32_t first,
+                            std::uint32_t last, WriteCause cause,
+                            TimeUs now)
+{
+    const Bytes bytes = rangeTransferBytes(file, first, last);
+    metrics_.addServerWrite(cause, bytes);
+    if (config_.sink) {
+        for (std::uint32_t b = first; b <= last; ++b) {
+            config_.sink->onServerWrite(
+                now, file, b,
+                blockTransferBytes(cache::BlockId{file, b}), cause);
+        }
+    }
+    return bytes;
+}
+
 void
 ClientModel::absorbBlock(const cache::CacheBlock &block, bool deleted)
 {

@@ -174,6 +174,77 @@ class ClientModel
     Bytes serverWriteBlock(const cache::BlockId &id, WriteCause cause,
                            TimeUs now);
 
+    /**
+     * Account a contiguous run [first, last] of block writes of
+     * `file` with ONE metrics update: rangeTransferBytes is the
+     * closed-form sum of the per-block transfers, so the counters end
+     * up exactly where last-first+1 serverWriteBlock calls would put
+     * them.  Sink events stay per block, ascending, with per-block
+     * byte counts, so end-to-end replays observe an identical stream.
+     * Returns the total bytes transferred.
+     */
+    Bytes serverWriteRun(FileId file, std::uint32_t first,
+                         std::uint32_t last, WriteCause cause,
+                         TimeUs now);
+
+    /**
+     * Accumulates ascending block indices of one file into contiguous
+     * runs and flushes each run with one serverWriteRun call — the
+     * removeFileBlocks/peekRange walks hand blocks over in ascending
+     * order, so sequential dirty data collapses from one metrics
+     * update per 4 KB block to one per uniform run.
+     */
+    class RunFlusher
+    {
+      public:
+        RunFlusher(ClientModel &model, FileId file, WriteCause cause,
+                   TimeUs now)
+            : model_(model), file_(file), cause_(cause), now_(now)
+        {
+        }
+
+        /** Add the next block to flush; indices must ascend. */
+        void
+        add(std::uint32_t index)
+        {
+            if (active_ && index == last_ + 1) {
+                last_ = index;
+                return;
+            }
+            flushRun();
+            first_ = last_ = index;
+            active_ = true;
+        }
+
+        /** Flush the trailing run; returns the total bytes flushed. */
+        Bytes
+        finish()
+        {
+            flushRun();
+            return bytes_;
+        }
+
+      private:
+        void
+        flushRun()
+        {
+            if (!active_)
+                return;
+            bytes_ += model_.serverWriteRun(file_, first_, last_,
+                                            cause_, now_);
+            active_ = false;
+        }
+
+        ClientModel &model_;
+        FileId file_;
+        WriteCause cause_;
+        TimeUs now_;
+        std::uint32_t first_ = 0;
+        std::uint32_t last_ = 0;
+        Bytes bytes_ = 0;
+        bool active_ = false;
+    };
+
     /** Count dirty bytes of a block as absorbed (delete/truncate). */
     void absorbBlock(const cache::CacheBlock &block, bool deleted);
 

@@ -290,14 +290,17 @@ UnifiedModel::recallRange(FileId file, Bytes offset, Bytes length,
                          recallScratch_.emplace_back(block.id.index,
                                                      block.isDirty());
                      });
+    RunFlusher flusher(*this, file, cause, now);
+    std::uint64_t dirty_count = 0;
     for (const auto &[index, dirty] : recallScratch_) {
-        const cache::BlockId id{file, index};
-        nvram_.remove(id);
+        nvram_.remove(cache::BlockId{file, index});
         if (dirty) {
-            flushed += serverWriteBlock(id, cause, now);
-            ++metrics_.nvramReadAccesses;
+            flusher.add(index);
+            ++dirty_count;
         }
     }
+    flushed += flusher.finish();
+    metrics_.nvramReadAccesses += dirty_count;
     recallScratch_.clear();
     volatile_.peekRange(file, first, last,
                         [&](const cache::CacheBlock &block) {
@@ -314,14 +317,20 @@ UnifiedModel::recallRange(FileId file, Bytes offset, Bytes length,
 void
 UnifiedModel::recall(FileId file, WriteCause cause, TimeUs now)
 {
+    // The removal walk hands dirty blocks over in ascending order;
+    // contiguous ones flush as single runs (one metrics update each),
+    // and the NVRAM read count is added once for the whole file.
+    RunFlusher flusher(*this, file, cause, now);
+    std::uint64_t dirty_count = 0;
     nvram_.removeFileBlocks(file,
                             [&](const cache::CacheBlock &block) {
                                 if (block.isDirty()) {
-                                    serverWriteBlock(block.id, cause,
-                                                     now);
-                                    ++metrics_.nvramReadAccesses;
+                                    flusher.add(block.id.index);
+                                    ++dirty_count;
                                 }
                             });
+    flusher.finish();
+    metrics_.nvramReadAccesses += dirty_count;
     volatile_.removeFileBlocks(file);
 }
 

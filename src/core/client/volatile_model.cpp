@@ -292,13 +292,15 @@ VolatileModel::recall(FileId file, WriteCause cause, TimeUs now)
 {
     // Dirty blocks flush in ascending block order either way, so the
     // single removal pass emits the same server-write sequence as a
-    // flush pass followed by a removal pass.
+    // flush pass followed by a removal pass — contiguous blocks
+    // batched into one metrics update per run.
+    RunFlusher flusher(*this, file, cause, now);
     cache_.removeFileBlocks(file,
                             [&](const cache::CacheBlock &block) {
                                 if (block.isDirty())
-                                    serverWriteBlock(block.id, cause,
-                                                     now);
+                                    flusher.add(block.id.index);
                             });
+    flusher.finish();
 }
 
 void

@@ -325,15 +325,18 @@ WriteAsideModel::recall(FileId file, WriteCause cause, TimeUs now)
 {
     // Every resident NVRAM block is dirty (the write-aside invariant),
     // so removing them all flushes exactly what the per-block
-    // dirty-only loop flushed, in the same ascending order.
+    // dirty-only loop flushed, in the same ascending order —
+    // contiguous blocks batched into one metrics update per run.
+    RunFlusher flusher(*this, file, cause, now);
     nvram_.removeFileBlocks(
         file, [&](const cache::CacheBlock &block) {
             if (block.isDirty()) {
-                serverWriteBlock(block.id, cause, now);
+                flusher.add(block.id.index);
                 if (volatile_.contains(block.id))
                     volatile_.markClean(block.id);
             }
         });
+    flusher.finish();
     volatile_.removeFileBlocks(file);
 }
 

@@ -1,7 +1,10 @@
 #include "core/sim/experiments.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cmath>
+#include <condition_variable>
 #include <cstdlib>
 #include <future>
 #include <map>
@@ -16,6 +19,7 @@
 #include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 #include "workload/server_workload.hpp"
 
@@ -231,6 +235,89 @@ runClientSim(const prep::OpStream &ops, const ModelConfig &model,
     config.seed = seed;
     ClusterSim sim(config, std::max<std::uint32_t>(1, ops.clientCount));
     return sim.run(ops);
+}
+
+unsigned
+gridJobCount()
+{
+    // Read per call (not cached): the determinism tests flip
+    // NVFS_GRID_JOBS between replays of the same grid.
+    return static_cast<unsigned>(util::envInt(
+        "NVFS_GRID_JOBS",
+        static_cast<std::int64_t>(util::defaultJobCount()), 1, 65536));
+}
+
+std::vector<Metrics>
+runClientGrid(const prep::OpStream &ops,
+              const std::vector<ModelConfig> &models,
+              std::uint64_t seed, unsigned width)
+{
+    std::vector<Metrics> results(models.size());
+    if (width == 0)
+        width = gridJobCount();
+    if (width <= 1 || models.size() <= 1) {
+        for (std::size_t i = 0; i < models.size(); ++i)
+            results[i] = runClientSim(ops, models[i], seed);
+        return results;
+    }
+
+    // Claim-loop fan-out, the parallelFor shape: the caller and up to
+    // width-1 pool helpers race to claim model indices off a shared
+    // atomic counter.  Which thread replays which cell varies run to
+    // run, but each cell's simulation is self-contained (runClientSim
+    // constructs a fresh ClusterSim/Metrics/Rng per call), so the
+    // result vector is identical for any width.  No pool-wide wait():
+    // the grid has its own done-counter, so concurrent pool users
+    // (e.g. pipeline prepares) are unaffected.
+    struct GridState
+    {
+        explicit GridState(std::size_t n) : tasks(n), errors(n) {}
+
+        const std::size_t tasks;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::vector<std::exception_ptr> errors;
+        std::mutex m;
+        std::condition_variable cv;
+    };
+    auto state = std::make_shared<GridState>(models.size());
+    auto drive = [state, &ops, &models, seed, &results] {
+        for (;;) {
+            const std::size_t i =
+                state->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= state->tasks)
+                return; // stragglers must not touch the references
+            try {
+                results[i] = runClientSim(ops, models[i], seed);
+            } catch (...) {
+                state->errors[i] = std::current_exception();
+            }
+            if (state->done.fetch_add(1, std::memory_order_acq_rel) +
+                    1 ==
+                state->tasks) {
+                const std::lock_guard<std::mutex> lock(state->m);
+                state->cv.notify_all();
+            }
+        }
+    };
+    util::ThreadPool &pool = util::ThreadPool::ambient();
+    const std::size_t helpers = std::min<std::size_t>(
+        {models.size() - 1, pool.threadCount(), width - 1});
+    for (std::size_t h = 0; h < helpers; ++h)
+        pool.submit(drive);
+    drive();
+    {
+        std::unique_lock<std::mutex> lock(state->m);
+        state->cv.wait(lock, [&state] {
+            return state->done.load(std::memory_order_acquire) ==
+                   state->tasks;
+        });
+    }
+    for (const std::exception_ptr &error : state->errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+    return results;
 }
 
 ServerRunResult

@@ -24,11 +24,11 @@ SweepRunner::runTraceSweep(const std::vector<std::string> &trace_paths,
             return prep::convertTrace(trace::readTraceFile(path));
         },
         [&models, seed](prep::OpStream ops) {
-            std::vector<Metrics> row;
-            row.reserve(models.size());
-            for (const ModelConfig &model : models)
-                row.push_back(runClientSim(ops, model, seed));
-            return row;
+            // The replay grid of the current point fans out over
+            // NVFS_GRID_JOBS tasks (bit-identical to the serial model
+            // loop) while the pipeline's own pool prepares the next
+            // point.
+            return runClientGrid(ops, models, seed);
         });
 }
 
@@ -37,13 +37,10 @@ SweepRunner::runClientSweep(const prep::OpStream &ops,
                             const std::vector<ModelConfig> &models,
                             std::uint64_t seed) const
 {
-    std::vector<std::function<Metrics()>> tasks;
-    tasks.reserve(models.size());
-    for (const ModelConfig &model : models) {
-        tasks.push_back(
-            [&ops, model, seed] { return runClientSim(ops, model, seed); });
-    }
-    return map(tasks);
+    // The shared-op-stream model grid IS the replay grid: run it on
+    // the grid scheduler (ambient pool claim loop) at this runner's
+    // width instead of spinning up a dedicated pool per call.
+    return runClientGrid(ops, models, seed, jobs_);
 }
 
 std::vector<Metrics>

@@ -241,6 +241,99 @@ TEST(FlatMapTest, DifferentialVsUnorderedMap)
     EXPECT_TRUE(map.empty());
 }
 
+/** Identity hash: pins a key's home slot to key & (capacity-1), so
+ *  tests can construct probe chains at exact table positions. */
+struct IdentityHash
+{
+    std::size_t
+    operator()(std::uint64_t v) const
+    {
+        return static_cast<std::size_t>(v);
+    }
+};
+
+TEST(FlatMapTest, SimdFindMatchesScalarUnderChurn)
+{
+    // The vectorized group probe must return exactly what the scalar
+    // reference probe returns — same pointer, not just same value —
+    // for hits and misses alike, across growth and backward-shift
+    // erase churn.  (With NVFS_NO_SIMD both paths are the same code
+    // and this degenerates to a tautology, which is fine: the CI
+    // scalar-fallback leg runs it that way.)
+    util::Rng rng(0x51D);
+    Map map;
+    for (int step = 0; step < 20000; ++step) {
+        const auto key =
+            static_cast<std::uint64_t>(rng.uniformInt(0, 2047));
+        switch (rng.uniformInt(0, 3)) {
+          case 0:
+          case 1:
+            map.insertOrAssign(key, static_cast<std::uint64_t>(step));
+            break;
+          case 2:
+            map.erase(key);
+            break;
+          default:
+            break;
+        }
+        const auto probe =
+            static_cast<std::uint64_t>(rng.uniformInt(0, 2047));
+        ASSERT_EQ(map.find(probe), map.findScalar(probe))
+            << "probe " << probe << " diverged at step " << step;
+    }
+}
+
+TEST(FlatMapTest, SimdFindMatchesScalarAcrossWrapBoundary)
+{
+    // Home slots near the end of the table force probes to wrap; the
+    // group scan must hand off to the scalar tail and still agree
+    // with the pure scalar probe for every key.
+    util::FlatMap<std::uint64_t, std::uint64_t, IdentityHash> map;
+    map.reserve(48); // capacity 64
+    // A collision pile-up whose chain starts 6 slots before the wrap
+    // point and spills past it: keys 58, 58+64, 58+128, ... all share
+    // home slot 58 of 64.
+    for (std::uint64_t i = 0; i < 20; ++i)
+        map.insertOrAssign(58 + i * 64, i);
+    for (std::uint64_t i = 0; i < 24; ++i) {
+        const std::uint64_t present = 58 + i * 64;
+        ASSERT_EQ(map.find(present), map.findScalar(present));
+        const std::uint64_t absent = 59 + i * 64;
+        ASSERT_EQ(map.find(absent), map.findScalar(absent));
+        ASSERT_EQ(map.find(absent), nullptr);
+    }
+    // Erase from the middle of the chain (backward-shift moves the
+    // tail across the wrap) and re-verify.
+    for (const std::uint64_t gone : {58 + 5 * 64, 58 + 11 * 64}) {
+        ASSERT_TRUE(map.erase(gone));
+        for (std::uint64_t i = 0; i < 24; ++i) {
+            const std::uint64_t key = 58 + i * 64;
+            ASSERT_EQ(map.find(key), map.findScalar(key));
+        }
+    }
+}
+
+TEST(FlatMapTest, SimdFindMatchesScalarOnLongProbeChains)
+{
+    // Probe chains longer than one 16-slot group: 40 keys all homed
+    // at slot 0 make stored distances 1..40, so a miss must scan
+    // three vector groups before the robin-hood early exit fires.
+    util::FlatMap<std::uint64_t, std::uint64_t, IdentityHash> map;
+    map.reserve(48); // capacity 64
+    for (std::uint64_t i = 0; i < 40; ++i)
+        map.insertOrAssign(i * 64, i);
+    for (std::uint64_t i = 0; i < 48; ++i) {
+        const std::uint64_t key = i * 64;
+        ASSERT_EQ(map.find(key), map.findScalar(key));
+        if (i < 40) {
+            ASSERT_NE(map.find(key), nullptr);
+            ASSERT_EQ(*map.find(key), i);
+        } else {
+            ASSERT_EQ(map.find(key), nullptr);
+        }
+    }
+}
+
 TEST(FlatMapTest, ReserveAvoidsMidwayGrowth)
 {
     Map map;

@@ -493,5 +493,130 @@ TEST(SweepRunner, TraceSweepPipelinedMatchesSerial)
     }
 }
 
+/** Both engines x all three models at a couple of NVRAM sizes. */
+std::vector<ModelConfig>
+gridModels()
+{
+    std::vector<ModelConfig> models;
+    for (const bool extent : {false, true}) {
+        for (const auto kind :
+             {ModelKind::Volatile, ModelKind::WriteAside,
+              ModelKind::Unified}) {
+            ModelConfig model;
+            model.kind = kind;
+            model.volatileBytes = 4 * kMiB;
+            model.nvramBytes = kMiB / 2;
+            model.extentOps = extent;
+            models.push_back(model);
+        }
+    }
+    return models;
+}
+
+TEST(SweepRunner, GridMatchesSerialEveryTraceEngineAndModel)
+{
+    // The replay grid must be bit-identical to calling runClientSim
+    // in a serial loop, for any width, with the invariant audits on:
+    // traces 3/4/7, both block engines, all three models.
+    ::setenv("NVFS_AUDIT", "2048", 1);
+    const auto models = gridModels();
+    for (const int t : {3, 4, 7}) {
+        const auto &ops = standardOps(t, kScale);
+
+        std::vector<Metrics> serial;
+        serial.reserve(models.size());
+        for (const ModelConfig &model : models)
+            serial.push_back(runClientSim(ops, model));
+
+        ::setenv("NVFS_GRID_JOBS", "1", 1);
+        const auto one = runClientGrid(ops, models);
+        ::setenv("NVFS_GRID_JOBS", "8", 1);
+        const auto eight = runClientGrid(ops, models);
+        ::unsetenv("NVFS_GRID_JOBS");
+
+        ASSERT_EQ(one.size(), models.size());
+        ASSERT_EQ(eight.size(), models.size());
+        for (std::size_t c = 0; c < models.size(); ++c) {
+            EXPECT_EQ(one[c], serial[c])
+                << "trace " << t << " model " << c
+                << " diverged at grid width 1";
+            EXPECT_EQ(eight[c], serial[c])
+                << "trace " << t << " model " << c
+                << " diverged at grid width 8";
+        }
+    }
+    ::unsetenv("NVFS_AUDIT");
+}
+
+TEST(SweepRunner, GridExplicitWidthMatchesSerial)
+{
+    // Explicit width overrides the env knob; widths beyond the model
+    // count or the pool size must not change results either.
+    const auto &ops = standardOps(3, kScale);
+    const auto models = gridModels();
+    const auto serial = runClientGrid(ops, models, 42, 1);
+    for (const unsigned width : {2u, 3u, 64u}) {
+        const auto wide = runClientGrid(ops, models, 42, width);
+        ASSERT_EQ(wide.size(), serial.size());
+        for (std::size_t c = 0; c < models.size(); ++c)
+            EXPECT_EQ(wide[c], serial[c])
+                << "model " << c << " diverged at width " << width;
+    }
+}
+
+TEST(SweepRunner, GridJobsEnvRejectsMalformedValues)
+{
+    // Satellite: NVFS_GRID_JOBS goes through util::envInt's strict
+    // parsing — zero, negative, and garbage all fall back to the
+    // NVFS_JOBS-derived default (with a warning) instead of being
+    // silently truncated or crashing.
+    const unsigned fallback = util::defaultJobCount();
+    for (const char *bad : {"0", "-3", "abc", "8x", ""}) {
+        ::setenv("NVFS_GRID_JOBS", bad, 1);
+        EXPECT_EQ(gridJobCount(), fallback)
+            << "NVFS_GRID_JOBS=\"" << bad << '"';
+    }
+    ::setenv("NVFS_GRID_JOBS", "6", 1);
+    EXPECT_EQ(gridJobCount(), 6u);
+    ::unsetenv("NVFS_GRID_JOBS");
+    EXPECT_EQ(gridJobCount(), fallback);
+}
+
+TEST(SweepRunner, GridInsidePipelinedSweepMatchesSerial)
+{
+    // Grid + pipeline concurrently (the TSan job runs this at
+    // NVFS_JOBS=8): replay grids of width 8 race the pipeline's
+    // prepare tasks on the shared pool, and the full metric table
+    // must still be byte-identical to the serial runner.
+    const std::string dir = testing::TempDir() + "nvfs_grid_sweep";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    std::vector<std::string> paths;
+    for (const int t : {3, 4, 7}) {
+        const std::string path =
+            dir + "/trace" + std::to_string(t) + ".nvt";
+        trace::writeTraceFile(
+            path, workload::generateStandardTrace(t, 0.01));
+        paths.push_back(path);
+    }
+    const auto models = gridModels();
+
+    ::setenv("NVFS_GRID_JOBS", "1", 1);
+    const auto serial = SweepRunner(1).runTraceSweep(paths, models);
+    ::setenv("NVFS_GRID_JOBS", "8", 1);
+    const auto wide = SweepRunner(4).runTraceSweep(paths, models);
+    ::unsetenv("NVFS_GRID_JOBS");
+
+    ASSERT_EQ(serial.size(), paths.size());
+    ASSERT_EQ(wide.size(), paths.size());
+    for (std::size_t r = 0; r < paths.size(); ++r) {
+        ASSERT_EQ(wide[r].size(), models.size());
+        for (std::size_t c = 0; c < models.size(); ++c)
+            EXPECT_EQ(wide[r][c], serial[r][c])
+                << "trace " << r << " model " << c
+                << " diverged under pipelined grid replay";
+    }
+}
+
 } // namespace
 } // namespace nvfs::core

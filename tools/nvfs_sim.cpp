@@ -428,11 +428,10 @@ cmdSweep(const Args &args)
                 return prep::convertTrace(buffer);
             },
             [&](prep::OpStream ops) {
-                std::vector<core::Metrics> row;
-                row.reserve(models.size());
-                for (const core::ModelConfig &model : models)
-                    row.push_back(core::runClientSim(ops, model));
-                return row;
+                // The point's replay grid fans out over
+                // NVFS_GRID_JOBS tasks, bit-identical to the serial
+                // model loop.
+                return core::runClientGrid(ops, models);
             });
         for (std::size_t t = 0; t < point_list.size(); ++t) {
             printSweepTable(
