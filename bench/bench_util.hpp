@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/sim/experiments.hpp"
 #include "util/stats.hpp"
@@ -17,6 +18,26 @@
 #include "util/units.hpp"
 
 namespace nvfs::bench {
+
+/**
+ * The paper's NVRAM size sweep (Fig 3-4 x-axis), in MB.  Shared by
+ * the figure benches and the curve-engine wiring so the single-pass
+ * engine and the per-size grid provably sweep the same points.
+ */
+inline constexpr double kNvramSizeGrid[] = {0.03125, 0.0625, 0.125,
+                                            0.25,    0.5,    1,
+                                            2,       4,      8,
+                                            16};
+
+/** kNvramSizeGrid in bytes, as a CurveSpec/ModelConfig size list. */
+inline std::vector<Bytes>
+nvramSizeGridBytes()
+{
+    std::vector<Bytes> sizes;
+    for (const double mb : kNvramSizeGrid)
+        sizes.push_back(static_cast<Bytes>(mb * kMiB));
+    return sizes;
+}
 
 /** Print a standard header for a bench binary. */
 inline void

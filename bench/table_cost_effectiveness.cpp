@@ -19,22 +19,24 @@ buildCurve(const core::SweepRunner &runner, const prep::OpStream &ops,
            core::ModelKind kind, Bytes base,
            const std::vector<double> &extras_mb)
 {
-    std::vector<core::ModelConfig> models;
-    for (const double extra : extras_mb) {
-        core::ModelConfig model;
-        model.kind = kind;
-        if (kind == core::ModelKind::Volatile) {
-            model.volatileBytes =
-                base + static_cast<Bytes>(extra * kMiB);
-        } else {
-            model.volatileBytes = base;
-            model.nvramBytes =
+    // Both Figure 6 curves are LRU-managed size sweeps, so each one
+    // is a single curve-engine replay over all its points.
+    core::CurveSpec spec;
+    spec.base.kind = kind;
+    if (kind == core::ModelKind::Volatile) {
+        spec.axis = core::CurveAxis::VolatileBytes;
+        for (const double extra : extras_mb)
+            spec.sizes.push_back(base +
+                                 static_cast<Bytes>(extra * kMiB));
+    } else {
+        spec.base.volatileBytes = base;
+        spec.axis = core::CurveAxis::NvramBytes;
+        for (const double extra : extras_mb)
+            spec.sizes.push_back(
                 extra == 0 ? kBlockSize
-                           : static_cast<Bytes>(extra * kMiB);
-        }
-        models.push_back(model);
+                           : static_cast<Bytes>(extra * kMiB));
     }
-    const auto results = runner.runClientSweep(ops, models);
+    const auto results = runner.runCurveSweep(ops, spec);
 
     std::vector<nvram::CurvePoint> curve;
     for (std::size_t i = 0; i < extras_mb.size(); ++i)

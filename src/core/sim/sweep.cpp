@@ -44,6 +44,17 @@ SweepRunner::runClientSweep(const prep::OpStream &ops,
 }
 
 std::vector<Metrics>
+SweepRunner::runCurveSweep(const prep::OpStream &ops,
+                           const CurveSpec &spec) const
+{
+    if (curveEngineEnabled() && curveSupported(spec))
+        return runCurveSim(ops, spec);
+    // Per-size fallback: the exact grid the curve engine replaces.
+    return runClientGrid(ops, curveGridModels(spec), spec.seed,
+                         jobs_);
+}
+
+std::vector<Metrics>
 SweepRunner::runClusterSweep(
     const prep::OpStream &ops,
     const std::vector<ClusterConfig> &configs) const

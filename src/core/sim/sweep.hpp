@@ -23,6 +23,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/sim/curve.hpp"
 #include "core/sim/experiments.hpp"
 #include "util/thread_pool.hpp"
 
@@ -179,6 +180,19 @@ class SweepRunner
     runClientSweep(const prep::OpStream &ops,
                    const std::vector<ModelConfig> &models,
                    std::uint64_t seed = 42) const;
+
+    /**
+     * Multi-size curve sweep: one Metrics row per spec.sizes entry,
+     * in order.  Uses the single-pass CurveSim engine when the spec
+     * supports it (LRU-managed sizes, no inclusion-breaking ablation)
+     * and NVFS_CURVE_ENGINE is not "off"; otherwise falls back to
+     * the per-size replay grid (curveGridModels + runClientGrid).
+     * Both paths are bit-identical by construction and by the
+     * curve_sim_test differential matrix.
+     */
+    std::vector<Metrics>
+    runCurveSweep(const prep::OpStream &ops,
+                  const CurveSpec &spec) const;
 
     /**
      * Run one full cluster simulation per config (for sweeps that

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Order-statistic recency index: the stack-distance structure behind
+ * the single-pass multi-size curve engine (core::CurveSim).
+ *
+ * Members are caller-chosen 32-bit slot ids (block-cache arena slots).
+ * Every touch assigns the slot the next monotone sequence position;
+ * a Fenwick (binary indexed) tree over the occupied positions answers
+ * two order-statistic queries:
+ *
+ *  - rankFromMru(slot): 1-based recency rank (1 = most recently
+ *    touched).  For an access this is exactly the classic LRU *stack
+ *    distance*: an access with rank d hits every cache of capacity
+ *    >= d and misses every smaller one.
+ *  - selectFromMru(r): the slot at rank r — e.g. the LRU victim of a
+ *    simulated cache currently holding r blocks.
+ *
+ * Sequence positions grow without bound, so when the position space
+ * fills up the index compacts: live entries are renumbered 0..n-1 in
+ * recency order and the tree is rebuilt.  Compaction is O(capacity)
+ * and at least half the positions are dead when it runs (the space
+ * doubles while more than half are live), so the amortized cost per
+ * touch is O(1) on top of the O(log n) tree update.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/audit.hpp"
+#include "util/log.hpp"
+
+namespace nvfs::util {
+
+/** Fenwick-indexed recency order statistics over slot ids. */
+class OrderStatIndex
+{
+  public:
+    /** @param expected_slots sizing hint for the slot->position map */
+    explicit OrderStatIndex(std::uint32_t expected_slots = 0)
+    {
+        if (expected_slots != 0)
+            posOfSlot_.reserve(expected_slots);
+        resize(64);
+    }
+
+    /** Number of live members. */
+    std::uint32_t size() const { return count_; }
+
+    /** True when the slot is a live member. */
+    bool
+    contains(std::uint32_t slot) const
+    {
+        return slot < posOfSlot_.size() && posOfSlot_[slot] != kNone;
+    }
+
+    /**
+     * Make `slot` the most-recent member.  The slot must not already
+     * be a member (use touch() for that).
+     */
+    void
+    push(std::uint32_t slot)
+    {
+        NVFS_REQUIRE(!contains(slot),
+                     "OrderStatIndex::push: slot already a member");
+        if (slot >= posOfSlot_.size())
+            posOfSlot_.resize(slot + 1, kNone);
+        const std::uint32_t pos = allocPosition();
+        posOfSlot_[slot] = pos;
+        slotOfPos_[pos] = slot;
+        add(pos, 1);
+        ++count_;
+    }
+
+    /** Move a live member to most-recent. */
+    void
+    touch(std::uint32_t slot)
+    {
+        NVFS_REQUIRE(contains(slot),
+                     "OrderStatIndex::touch: slot not a member");
+        const std::uint32_t old = posOfSlot_[slot];
+        add(old, -1);
+        slotOfPos_[old] = kNone;
+        const std::uint32_t pos = allocPosition();
+        posOfSlot_[slot] = pos;
+        slotOfPos_[pos] = slot;
+        add(pos, 1);
+    }
+
+    /** Remove a live member. */
+    void
+    erase(std::uint32_t slot)
+    {
+        NVFS_REQUIRE(contains(slot),
+                     "OrderStatIndex::erase: slot not a member");
+        const std::uint32_t pos = posOfSlot_[slot];
+        add(pos, -1);
+        slotOfPos_[pos] = kNone;
+        posOfSlot_[slot] = kNone;
+        --count_;
+    }
+
+    /**
+     * 1-based recency rank of a live member: 1 = most recent.  When
+     * queried at access time (before touch()), this is the access's
+     * LRU stack distance.
+     */
+    std::uint32_t
+    rankFromMru(std::uint32_t slot) const
+    {
+        NVFS_REQUIRE(contains(slot),
+                     "OrderStatIndex::rank: slot not a member");
+        // Members at positions strictly greater are more recent.
+        return count_ - prefixCount(posOfSlot_[slot]) + 1;
+    }
+
+    /**
+     * Slot at recency rank `rank` (1 = most recent, size() = least).
+     * The LRU victim of a simulated cache holding r members is
+     * selectFromMru(r).
+     */
+    std::uint32_t
+    selectFromMru(std::uint32_t rank) const
+    {
+        NVFS_REQUIRE(rank >= 1 && rank <= count_,
+                     "OrderStatIndex::select: rank out of range");
+        // rank r from MRU = (count - r + 1)-th smallest position.
+        std::uint32_t target = count_ - rank + 1;
+        std::uint32_t pos = 0; // 1-based walk over the implicit tree
+        std::uint32_t mask = topBit_;
+        while (mask != 0) {
+            const std::uint32_t next = pos + mask;
+            if (next <= capacity_ && tree_[next] < target) {
+                target -= tree_[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        return slotOfPos_[pos]; // pos is 0-based index of the member
+    }
+
+    /**
+     * Structural audit (nvfs::check): slot<->position maps mutually
+     * inverse, tree totals consistent with the position map, count
+     * consistent.  O(capacity).  Throws util::AuditError.
+     */
+    void
+    auditInvariants() const
+    {
+        std::uint32_t live = 0;
+        for (std::uint32_t pos = 0; pos < next_; ++pos) {
+            const std::uint32_t slot = slotOfPos_[pos];
+            if (slot == kNone)
+                continue;
+            ++live;
+            NVFS_AUDIT_CHECK(slot < posOfSlot_.size() &&
+                                 posOfSlot_[slot] == pos,
+                             "OrderStatIndex",
+                             "slot/position maps disagree");
+            NVFS_AUDIT_CHECK(prefixCount(pos) == live, "OrderStatIndex",
+                             "Fenwick prefix disagrees with positions");
+        }
+        NVFS_AUDIT_CHECK(live == count_, "OrderStatIndex",
+                         "live-member count drifted");
+        for (std::uint32_t slot = 0;
+             slot < static_cast<std::uint32_t>(posOfSlot_.size());
+             ++slot) {
+            const std::uint32_t pos = posOfSlot_[slot];
+            NVFS_AUDIT_CHECK(pos == kNone ||
+                                 (pos < next_ &&
+                                  slotOfPos_[pos] == slot),
+                             "OrderStatIndex",
+                             "position map points at a dead position");
+        }
+    }
+
+  private:
+    static constexpr std::uint32_t kNone = 0xffffffffu;
+
+    /** Members at positions <= pos (0-based), inclusive. */
+    std::uint32_t
+    prefixCount(std::uint32_t pos) const
+    {
+        std::uint32_t i = pos + 1; // 1-based tree
+        std::uint32_t total = 0;
+        for (; i != 0; i -= i & (~i + 1))
+            total += tree_[i];
+        return total;
+    }
+
+    void
+    add(std::uint32_t pos, std::int32_t delta)
+    {
+        for (std::uint32_t i = pos + 1; i <= capacity_;
+             i += i & (~i + 1)) {
+            tree_[i] = static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(tree_[i]) + delta);
+        }
+    }
+
+    std::uint32_t
+    allocPosition()
+    {
+        if (next_ == capacity_)
+            compact();
+        return next_++;
+    }
+
+    void
+    resize(std::uint32_t capacity)
+    {
+        capacity_ = capacity;
+        topBit_ = 1;
+        while ((topBit_ << 1) != 0 && (topBit_ << 1) <= capacity_)
+            topBit_ <<= 1;
+        tree_.assign(capacity_ + 1, 0);
+        slotOfPos_.assign(capacity_, kNone);
+        next_ = 0;
+    }
+
+    /**
+     * Renumber live members 0..count-1 in recency order and rebuild
+     * the tree; grows the position space while more than half of it
+     * is live so compactions stay rare.
+     */
+    void
+    compact()
+    {
+        std::vector<std::uint32_t> order;
+        order.reserve(count_);
+        for (std::uint32_t pos = 0; pos < next_; ++pos) {
+            if (slotOfPos_[pos] != kNone)
+                order.push_back(slotOfPos_[pos]);
+        }
+        std::uint32_t capacity = capacity_;
+        while (capacity < 2 * (count_ + 1)) {
+            NVFS_REQUIRE(capacity <= (1u << 30),
+                         "OrderStatIndex position space exhausted");
+            capacity *= 2;
+        }
+        resize(capacity);
+        for (const std::uint32_t slot : order) {
+            const std::uint32_t pos = next_++;
+            posOfSlot_[slot] = pos;
+            slotOfPos_[pos] = slot;
+            add(pos, 1);
+        }
+    }
+
+    std::uint32_t capacity_ = 0; ///< position-space size (power of 2)
+    std::uint32_t topBit_ = 0;   ///< highest power of 2 <= capacity_
+    std::uint32_t next_ = 0;     ///< next unassigned position
+    std::uint32_t count_ = 0;    ///< live members
+    std::vector<std::uint32_t> tree_;      ///< 1-based Fenwick counts
+    std::vector<std::uint32_t> slotOfPos_; ///< position -> slot
+    std::vector<std::uint32_t> posOfSlot_; ///< slot -> position
+};
+
+} // namespace nvfs::util
