@@ -20,6 +20,7 @@
 #include "core/sim/experiments.hpp"
 #include "core/sim/sweep.hpp"
 #include "lfs/log.hpp"
+#include "obs/export.hpp"
 #include "prep/op_cache.hpp"
 #include "trace/stream.hpp"
 #include "util/flat_map.hpp"
@@ -434,4 +435,18 @@ BENCHMARK(BM_PipelineSweep)
 
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the obs export hooks (NVFS_STATS_OUT /
+// NVFS_TRACE_OUT) register before any benchmark runs —
+// bench_compare.py reads the JSON snapshot to attach counter deltas
+// to BENCH_e2e.json entries.
+int
+main(int argc, char **argv)
+{
+    nvfs::obs::autoExportFromEnv();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

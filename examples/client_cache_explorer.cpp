@@ -14,6 +14,7 @@
 #include <cstdlib>
 
 #include "core/sim/experiments.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 
 using namespace nvfs;
@@ -21,9 +22,12 @@ using namespace nvfs;
 int
 main(int argc, char **argv)
 {
-    const int trace = argc > 1 ? std::atoi(argv[1]) : 7;
-    const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
-    const double volatile_mb = argc > 3 ? std::atof(argv[3]) : 8.0;
+    const int trace = static_cast<int>(
+        argc > 1 ? util::argInt("trace", argv[1], 7) : 7);
+    const double scale =
+        argc > 2 ? util::argDouble("scale", argv[2], 0.25) : 0.25;
+    const double volatile_mb =
+        argc > 3 ? util::argDouble("volatile-mb", argv[3], 8.0) : 8.0;
 
     if (trace < 1 || trace > 8) {
         std::fprintf(stderr, "trace must be 1..8\n");

@@ -18,6 +18,7 @@
 
 #include "core/sim/experiments.hpp"
 #include "nvram/device.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -113,7 +114,8 @@ part2ClusterStory(double scale)
 int
 main(int argc, char **argv)
 {
-    const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+    const double scale =
+        argc > 1 ? util::argDouble("scale", argv[1], 0.1) : 0.1;
     part1DeviceStory();
     part2ClusterStory(scale);
     return 0;

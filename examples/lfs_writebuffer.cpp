@@ -13,6 +13,7 @@
 
 #include "core/sim/experiments.hpp"
 #include "disk/disk_model.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 
 using namespace nvfs;
@@ -20,9 +21,13 @@ using namespace nvfs;
 int
 main(int argc, char **argv)
 {
-    const double hours = argc > 1 ? std::atof(argv[1]) : 24.0;
-    const double buffer_kb = argc > 2 ? std::atof(argv[2]) : 512.0;
-    const double scale = argc > 3 ? std::atof(argv[3]) : 1.0;
+    const double hours =
+        argc > 1 ? util::argDouble("hours", argv[1], 24.0) : 24.0;
+    const double buffer_kb =
+        argc > 2 ? util::argDouble("buffer-kb", argv[2], 512.0)
+                 : 512.0;
+    const double scale =
+        argc > 3 ? util::argDouble("scale", argv[3], 1.0) : 1.0;
 
     const auto duration = static_cast<TimeUs>(hours * kUsPerHour);
     const auto buffer = static_cast<Bytes>(buffer_kb * kKiB);

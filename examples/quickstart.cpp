@@ -11,6 +11,7 @@
 #include <cstdlib>
 
 #include "core/sim/experiments.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -19,8 +20,10 @@ using namespace nvfs;
 int
 main(int argc, char **argv)
 {
-    const int trace = argc > 1 ? std::atoi(argv[1]) : 7;
-    const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+    const int trace = static_cast<int>(
+        argc > 1 ? util::argInt("trace", argv[1], 7) : 7);
+    const double scale =
+        argc > 2 ? util::argDouble("scale", argv[2], 0.25) : 0.25;
 
     std::printf("nvfs quickstart: trace %d at scale %.2f\n\n", trace,
                 scale);

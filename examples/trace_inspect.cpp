@@ -17,6 +17,7 @@
 #include "prep/converter.hpp"
 #include "trace/stream.hpp"
 #include "trace/validate.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 #include "workload/generator.hpp"
@@ -26,8 +27,10 @@ using namespace nvfs;
 int
 main(int argc, char **argv)
 {
-    const int trace_number = argc > 1 ? std::atoi(argv[1]) : 2;
-    const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
+    const int trace_number = static_cast<int>(
+        argc > 1 ? util::argInt("trace", argv[1], 2) : 2);
+    const double scale =
+        argc > 2 ? util::argDouble("scale", argv[2], 0.1) : 0.1;
     const std::string path =
         argc > 3 ? argv[3] : "/tmp/nvfs_demo.trace";
 

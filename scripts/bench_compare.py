@@ -37,6 +37,7 @@ import os
 import re
 import subprocess
 import sys
+import tempfile
 
 E2E_PREFIXES = ("BM_ClusterSimReplay", "BM_PipelineSweep",
                 "BM_ReplayGrid", "BM_CurveSweep")
@@ -61,6 +62,13 @@ def is_e2e(name):
 
 
 def run_benchmarks(bench, bench_filter, min_time, repetitions):
+    """Run perf_microbench; return (report, obs counter snapshot).
+
+    The bench binary honours NVFS_STATS_OUT (nvfs::obs auto-export),
+    so the run doubles as the counter capture: steal rates, cache hit
+    ratios, and extent-probe totals land next to the medians they
+    explain.
+    """
     cmd = [
         bench,
         "--benchmark_format=json",
@@ -71,11 +79,67 @@ def run_benchmarks(bench, bench_filter, min_time, repetitions):
         cmd.append("--benchmark_report_aggregates_only=true")
     if bench_filter:
         cmd.append(f"--benchmark_filter={bench_filter}")
-    proc = subprocess.run(cmd, capture_output=True, text=True)
-    if proc.returncode != 0:
-        sys.stderr.write(proc.stderr)
-        raise SystemExit(f"benchmark run failed: {' '.join(cmd)}")
-    return json.loads(proc.stdout)
+    env = dict(os.environ)
+    with tempfile.NamedTemporaryFile(
+            prefix="nvfs-stats-", suffix=".json",
+            delete=False) as stats_file:
+        stats_path = stats_file.name
+    env["NVFS_STATS_OUT"] = stats_path
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              env=env)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(f"benchmark run failed: {' '.join(cmd)}")
+        counters = load_stats_snapshot(stats_path)
+    finally:
+        try:
+            os.unlink(stats_path)
+        except OSError:
+            pass
+    return json.loads(proc.stdout), counters
+
+
+def load_stats_snapshot(path):
+    """Flatten an NVFS_STATS_OUT snapshot to {name: value}.
+
+    Counters/max report their value; timers report total_ns and count
+    (as name.total_ns / name.count).  Returns {} when the snapshot is
+    missing or malformed (e.g. a -DNVFS_NO_STATS bench binary still
+    writes an empty stats object).
+    """
+    try:
+        with open(path) as fh:
+            snap = json.load(fh)
+    except (OSError, ValueError):
+        return {}
+    stats = snap.get("stats") if isinstance(snap, dict) else None
+    if not isinstance(stats, dict):
+        return {}
+    flat = {}
+    for name, entry in sorted(stats.items()):
+        if not isinstance(entry, dict):
+            continue
+        if entry.get("kind") == "timer":
+            flat[f"{name}.total_ns"] = entry.get("total_ns", 0)
+            flat[f"{name}.count"] = entry.get("count", 0)
+        else:
+            flat[name] = entry.get("value", 0)
+    return flat
+
+
+def counter_deltas(current, baseline):
+    """Per-counter change vs the committed snapshot's counters."""
+    base = (baseline or {}).get("counters")
+    if not isinstance(base, dict):
+        return {}
+    deltas = {}
+    for name, value in sorted(current.items()):
+        before = base.get(name)
+        if isinstance(before, (int, float)) and \
+                isinstance(value, (int, float)):
+            deltas[name] = value - before
+    return deltas
 
 
 def summarize(raw, keep):
@@ -251,14 +315,54 @@ def check_curve_floor(e2e, max_ratio):
 
 def load_e2e_baseline(baseline_path):
     """Read the committed snapshot (before --e2e-output clobbers it —
-    they are usually the same file)."""
+    they are usually the same file).
+
+    Tolerates a malformed file: anything that is not a dict with a
+    dict "benchmarks" member warns and counts as "no baseline" —
+    a truncated snapshot used to crash the comparison with a
+    KeyError/AttributeError deep inside check_e2e_regressions.
+    """
     try:
         with open(baseline_path) as fh:
-            return json.load(fh)
+            baseline = json.load(fh)
     except (OSError, ValueError) as error:
         print(f"WARNING: cannot read e2e baseline {baseline_path}: "
               f"{error}", file=sys.stderr)
         return None
+    if not isinstance(baseline, dict) or \
+            not isinstance(baseline.get("benchmarks"), dict):
+        print(f"WARNING: e2e baseline {baseline_path} is not a "
+              f"benchmark snapshot (no 'benchmarks' object); "
+              f"skipping the comparison", file=sys.stderr)
+        return None
+    return baseline
+
+
+def baseline_times(base, name):
+    """(real_ns, cpu_ns) of one baseline entry, or None when the entry
+    is missing, malformed, or has a zero/absent real median.
+
+    A missing entry (a benchmark added since the snapshot) and a zero
+    median (a truncated or hand-edited snapshot) both used to surface
+    as KeyError / ZeroDivisionError mid-comparison; they are
+    skip-with-warning now, and only ``--e2e-max-regression`` decides
+    whether anything fails the run.
+    """
+    entry = base.get(name)
+    if not isinstance(entry, dict):
+        print(f"WARNING: no baseline entry for {name}; skipping",
+              file=sys.stderr)
+        return None
+    before = entry.get("real_time_ns")
+    if not isinstance(before, (int, float)) or before <= 0:
+        print(f"WARNING: baseline median for {name} is "
+              f"{before!r} (zero or malformed); skipping",
+              file=sys.stderr)
+        return None
+    before_cpu = entry.get("cpu_time_ns")
+    if not isinstance(before_cpu, (int, float)) or before_cpu <= 0:
+        before_cpu = None
+    return before, before_cpu
 
 
 def check_e2e_regressions(current, baseline, baseline_path,
@@ -278,10 +382,12 @@ def check_e2e_regressions(current, baseline, baseline_path,
     warned = 0
     failed = []
     for name, entry in sorted(current["benchmarks"].items()):
+        times = baseline_times(base, name)
+        if times is None:
+            continue
+        before, before_cpu = times
         now = entry.get("real_time_ns")
-        before = base.get(name, {}).get("real_time_ns")
         now_cpu = entry.get("cpu_time_ns")
-        before_cpu = base.get(name, {}).get("cpu_time_ns")
         cpu_ratio = (now_cpu / before_cpu
                      if now_cpu and before_cpu else None)
         if now and before:
@@ -316,11 +422,20 @@ def check_e2e_regressions(current, baseline, baseline_path,
 def compare(current, baseline, max_regression):
     """Print a comparison table; return names regressed past the cap."""
     regressed = []
-    base = baseline.get("benchmarks", {})
+    base = baseline.get("benchmarks", {}) \
+        if isinstance(baseline, dict) else {}
+    if not isinstance(base, dict):
+        print("WARNING: baseline has no 'benchmarks' object; every "
+              "benchmark reads as new", file=sys.stderr)
+        base = {}
     rows = []
     for name, entry in sorted(current["benchmarks"].items()):
         now = entry.get("real_time_ns")
-        before = base.get(name, {}).get("real_time_ns")
+        before_entry = base.get(name)
+        before = before_entry.get("real_time_ns") \
+            if isinstance(before_entry, dict) else None
+        if not isinstance(before, (int, float)) or before <= 0:
+            before = None
         if not now or not before:
             rows.append((name, now, before, None))
             continue
@@ -382,8 +497,8 @@ def main():
                              "noise)")
     args = parser.parse_args()
 
-    raw = run_benchmarks(args.bench, args.bench_filter, args.min_time,
-                         args.repetitions)
+    raw, counters = run_benchmarks(args.bench, args.bench_filter,
+                                   args.min_time, args.repetitions)
     summary = summarize(raw, lambda name: not is_e2e(name))
     with open(args.output, "w") as fh:
         json.dump(summary, fh, indent=2, sort_keys=True)
@@ -395,6 +510,8 @@ def main():
                     if args.e2e_baseline else None)
     e2e = add_speedups(summarize(raw, is_e2e))
     e2e["metadata"] = host_metadata(raw)
+    e2e["counters"] = counters
+    e2e["counter_deltas"] = counter_deltas(counters, e2e_baseline)
     if e2e["benchmarks"]:
         with open(args.e2e_output, "w") as fh:
             json.dump(e2e, fh, indent=2, sort_keys=True)

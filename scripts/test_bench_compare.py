@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py's comparison robustness.
+
+The comparison paths used to crash (KeyError / ZeroDivisionError /
+AttributeError) on a missing baseline entry, a zero median, or a
+malformed snapshot; they must skip-with-warning instead and only fail
+the run when ``--e2e-max-regression`` catches a genuine slowdown.
+
+Run directly (``python3 scripts/test_bench_compare.py``) or via ctest
+(registered as ``script_bench_compare``).  Plain unittest — no
+third-party test dependencies.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_compare  # noqa: E402
+
+
+def entry(real_ns, cpu_ns=None):
+    out = {"real_time_ns": real_ns, "iterations": 3}
+    if cpu_ns is not None:
+        out["cpu_time_ns"] = cpu_ns
+    return out
+
+
+class LoadBaselineTest(unittest.TestCase):
+    def write_json(self, payload):
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".json", delete=False)
+        self.addCleanup(os.unlink, handle.name)
+        with handle:
+            handle.write(payload)
+        return handle.name
+
+    def test_missing_file_warns_and_returns_none(self):
+        err = io.StringIO()
+        with redirect_stderr(err):
+            result = bench_compare.load_e2e_baseline(
+                "/nonexistent/BENCH_e2e.json")
+        self.assertIsNone(result)
+        self.assertIn("WARNING", err.getvalue())
+
+    def test_truncated_json_warns_and_returns_none(self):
+        path = self.write_json('{"benchmarks": {')
+        err = io.StringIO()
+        with redirect_stderr(err):
+            result = bench_compare.load_e2e_baseline(path)
+        self.assertIsNone(result)
+        self.assertIn("WARNING", err.getvalue())
+
+    def test_wrong_shape_warns_and_returns_none(self):
+        for payload in ('[1, 2, 3]', '{"benchmarks": [1]}', '"x"'):
+            path = self.write_json(payload)
+            err = io.StringIO()
+            with redirect_stderr(err):
+                result = bench_compare.load_e2e_baseline(path)
+            self.assertIsNone(result, payload)
+            self.assertIn("WARNING", err.getvalue())
+
+    def test_valid_snapshot_loads(self):
+        path = self.write_json(json.dumps(
+            {"benchmarks": {"BM_X": entry(100.0)}}))
+        self.assertIsNotNone(bench_compare.load_e2e_baseline(path))
+
+
+class BaselineTimesTest(unittest.TestCase):
+    def test_missing_entry_skips_with_warning(self):
+        err = io.StringIO()
+        with redirect_stderr(err):
+            self.assertIsNone(
+                bench_compare.baseline_times({}, "BM_New"))
+        self.assertIn("no baseline entry for BM_New", err.getvalue())
+
+    def test_zero_median_skips_with_warning(self):
+        base = {"BM_Zero": entry(0.0)}
+        err = io.StringIO()
+        with redirect_stderr(err):
+            self.assertIsNone(
+                bench_compare.baseline_times(base, "BM_Zero"))
+        self.assertIn("zero or malformed", err.getvalue())
+
+    def test_malformed_entry_skips_with_warning(self):
+        for bad in (None, 3.5, "fast", {"real_time_ns": "quick"}):
+            err = io.StringIO()
+            with redirect_stderr(err):
+                self.assertIsNone(bench_compare.baseline_times(
+                    {"BM_Bad": bad}, "BM_Bad"), bad)
+            self.assertIn("WARNING", err.getvalue())
+
+    def test_zero_cpu_median_degrades_to_real_only(self):
+        base = {"BM_X": entry(100.0, 0.0)}
+        self.assertEqual(
+            bench_compare.baseline_times(base, "BM_X"), (100.0, None))
+
+
+class CheckE2eRegressionsTest(unittest.TestCase):
+    def check(self, current, baseline, warn=1.10, cap=None):
+        err = io.StringIO()
+        with redirect_stderr(err):
+            failed = bench_compare.check_e2e_regressions(
+                {"benchmarks": current}, {"benchmarks": baseline},
+                "BENCH_e2e.json", warn, cap)
+        return failed, err.getvalue()
+
+    def test_missing_baseline_entry_does_not_fail_run(self):
+        failed, err = self.check({"BM_New": entry(100.0)}, {},
+                                 cap=1.10)
+        self.assertEqual(failed, [])
+        self.assertIn("no baseline entry", err)
+
+    def test_zero_baseline_median_does_not_crash(self):
+        failed, err = self.check(
+            {"BM_X": entry(100.0, 90.0)}, {"BM_X": entry(0.0, 0.0)},
+            cap=1.10)
+        self.assertEqual(failed, [])
+        self.assertIn("zero or malformed", err)
+
+    def test_cpu_regression_fails_only_with_cap(self):
+        current = {"BM_X": entry(500.0, 500.0)}
+        baseline = {"BM_X": entry(100.0, 100.0)}
+        failed, err = self.check(current, baseline, cap=None)
+        self.assertEqual(failed, [])
+        self.assertIn("WARNING", err)
+        failed, err = self.check(current, baseline, cap=1.10)
+        self.assertEqual([name for name, _ in failed], ["BM_X"])
+        self.assertIn("REGRESSION", err)
+
+    def test_within_cap_passes(self):
+        failed, _ = self.check({"BM_X": entry(105.0, 104.0)},
+                               {"BM_X": entry(100.0, 100.0)},
+                               cap=1.10)
+        self.assertEqual(failed, [])
+
+
+class CompareTest(unittest.TestCase):
+    def test_malformed_baseline_reads_as_new(self):
+        current = {"benchmarks": {"BM_A": entry(100.0)}}
+        out = io.StringIO()
+        err = io.StringIO()
+        with redirect_stderr(err):
+            old_stdout = sys.stdout
+            sys.stdout = out
+            try:
+                regressed = bench_compare.compare(
+                    current, {"benchmarks": {"BM_A": 7}}, 1.3)
+            finally:
+                sys.stdout = old_stdout
+        self.assertEqual(regressed, [])
+        self.assertIn("new", out.getvalue())
+
+    def test_zero_baseline_median_is_not_divided(self):
+        current = {"benchmarks": {"BM_A": entry(100.0)}}
+        baseline = {"benchmarks": {"BM_A": entry(0.0)}}
+        out = io.StringIO()
+        old_stdout = sys.stdout
+        sys.stdout = out
+        try:
+            regressed = bench_compare.compare(current, baseline, 1.3)
+        finally:
+            sys.stdout = old_stdout
+        self.assertEqual(regressed, [])
+
+
+class CountersTest(unittest.TestCase):
+    def test_load_stats_snapshot_flattens(self):
+        snap = {
+            "version": 1,
+            "enabled": True,
+            "stats": {
+                "pool.tasks_submitted": {
+                    "kind": "counter", "count": 4, "value": 4},
+                "pool.queue_depth_hwm": {
+                    "kind": "max", "count": 4, "value": 3},
+                "sweep.replay": {
+                    "kind": "timer", "count": 2, "total_ns": 500,
+                    "min_ns": 200, "max_ns": 300},
+            },
+        }
+        with tempfile.NamedTemporaryFile(
+                mode="w", suffix=".json", delete=False) as handle:
+            json.dump(snap, handle)
+        self.addCleanup(os.unlink, handle.name)
+        flat = bench_compare.load_stats_snapshot(handle.name)
+        self.assertEqual(flat["pool.tasks_submitted"], 4)
+        self.assertEqual(flat["pool.queue_depth_hwm"], 3)
+        self.assertEqual(flat["sweep.replay.total_ns"], 500)
+        self.assertEqual(flat["sweep.replay.count"], 2)
+
+    def test_load_stats_snapshot_tolerates_garbage(self):
+        self.assertEqual(
+            bench_compare.load_stats_snapshot("/nonexistent"), {})
+        with tempfile.NamedTemporaryFile(
+                mode="w", suffix=".json", delete=False) as handle:
+            handle.write('{"stats": [1,2]}')
+        self.addCleanup(os.unlink, handle.name)
+        self.assertEqual(
+            bench_compare.load_stats_snapshot(handle.name), {})
+
+    def test_counter_deltas(self):
+        current = {"cache.extent_probes": 120, "new.counter": 5}
+        baseline = {"counters": {"cache.extent_probes": 100,
+                                 "gone.counter": 9}}
+        self.assertEqual(
+            bench_compare.counter_deltas(current, baseline),
+            {"cache.extent_probes": 20})
+
+    def test_counter_deltas_without_baseline(self):
+        self.assertEqual(
+            bench_compare.counter_deltas({"a": 1}, None), {})
+        self.assertEqual(
+            bench_compare.counter_deltas({"a": 1},
+                                         {"counters": "x"}), {})
+
+
+if __name__ == "__main__":
+    unittest.main()

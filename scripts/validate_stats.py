@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate an NVFS_STATS_OUT snapshot against scripts/stats_schema.json.
+
+A minimal validator for the subset of JSON Schema the stats schema
+uses (type / required / const / enum / minimum / additionalProperties
+/ oneOf) — the container has no jsonschema package, and the CI obs job
+only needs to prove the snapshot keeps its documented shape.
+
+Usage:
+    validate_stats.py SNAPSHOT.json [--schema scripts/stats_schema.json]
+    validate_stats.py SNAPSHOT.json --require-stat lfs.segments_sealed
+
+Exit 0 when the snapshot conforms (and every --require-stat name is
+present with a nonzero count); exit 1 with a path-qualified message
+otherwise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+class ValidationError(Exception):
+    pass
+
+
+def fail(path, message):
+    raise ValidationError(f"{path or '$'}: {message}")
+
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int)
+    and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(value, schema, path=""):
+    if "const" in schema and value != schema["const"]:
+        fail(path, f"expected {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        fail(path, f"expected one of {schema['enum']}, got {value!r}")
+    expected = schema.get("type")
+    if expected is not None and not TYPE_CHECKS[expected](value):
+        fail(path, f"expected {expected}, got "
+                   f"{type(value).__name__}")
+    if "minimum" in schema and isinstance(value, (int, float)) and \
+            not isinstance(value, bool) and value < schema["minimum"]:
+        fail(path, f"{value} is below minimum {schema['minimum']}")
+    if "oneOf" in schema:
+        errors = []
+        for i, alternative in enumerate(schema["oneOf"]):
+            try:
+                validate(value, alternative, path)
+                break
+            except ValidationError as error:
+                errors.append(f"[{i}] {error}")
+        else:
+            fail(path, "matched no oneOf alternative: " +
+                 "; ".join(errors))
+    if isinstance(value, dict):
+        for name in schema.get("required", []):
+            if name not in value:
+                fail(path, f"missing required member '{name}'")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for name, member in value.items():
+            member_path = f"{path}.{name}" if path else name
+            if name in properties:
+                validate(member, properties[name], member_path)
+            elif isinstance(additional, dict):
+                validate(member, additional, member_path)
+            elif additional is False:
+                fail(member_path, "unexpected member")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshot", help="NVFS_STATS_OUT JSON file")
+    parser.add_argument(
+        "--schema",
+        default=os.path.join(os.path.dirname(os.path.abspath(
+            __file__)), "stats_schema.json"))
+    parser.add_argument(
+        "--require-stat", action="append", default=[],
+        metavar="NAME",
+        help="additionally require this stat to be present with a "
+             "nonzero count (repeatable)")
+    args = parser.parse_args()
+
+    with open(args.schema) as fh:
+        schema = json.load(fh)
+    try:
+        with open(args.snapshot) as fh:
+            snapshot = json.load(fh)
+    except (OSError, ValueError) as error:
+        print(f"FAIL: cannot read {args.snapshot}: {error}",
+              file=sys.stderr)
+        return 1
+
+    try:
+        validate(snapshot, schema)
+    except ValidationError as error:
+        print(f"FAIL: {args.snapshot}: {error}", file=sys.stderr)
+        return 1
+
+    stats = snapshot.get("stats", {})
+    missing = []
+    for name in args.require_stat:
+        entry = stats.get(name)
+        if not isinstance(entry, dict) or not entry.get("count"):
+            missing.append(name)
+    if missing:
+        print(f"FAIL: {args.snapshot}: required stats absent or "
+              f"zero: {', '.join(missing)}", file=sys.stderr)
+        return 1
+
+    print(f"OK: {args.snapshot}: {len(stats)} stats conform to "
+          f"{os.path.basename(args.schema)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

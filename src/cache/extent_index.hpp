@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/audit.hpp"
 #include "util/flat_map.hpp"
 #include "util/log.hpp"
@@ -34,6 +35,34 @@ namespace nvfs::cache {
 class ExtentIndex
 {
   public:
+    ExtentIndex() = default;
+
+    /**
+     * Flush the locally-accumulated probe counters into the obs
+     * registry.  Counting per probe would put an obs TLS access in
+     * the replay inner loop; plain member increments here are free,
+     * and every index is destroyed (sim teardown) before a snapshot
+     * is read at a quiescent point, so the totals stay exact.
+     */
+    ~ExtentIndex()
+    {
+        if (hot_.probes == 0 && hot_.runInserts == 0)
+            return;
+        static const obs::Counter probes("cache.extent_probes");
+        static const obs::Counter hintHits("cache.extent_hint_hits");
+        static const obs::Counter runBlocks("cache.extent_run_blocks");
+        static const obs::Counter runInserts("cache.range_inserts");
+        if (hot_.probes != 0) {
+            probes.add(hot_.probes);
+            hintHits.add(hot_.hintHits);
+            runBlocks.add(hot_.runBlocks);
+        }
+        if (hot_.runInserts != 0)
+            runInserts.add(hot_.runInserts);
+    }
+
+    ExtentIndex(ExtentIndex &&) = default;
+    ExtentIndex &operator=(ExtentIndex &&) = default;
     /** One resident block of a file. */
     struct Entry
     {
@@ -87,6 +116,7 @@ class ExtentIndex
     {
         if (count == 0)
             return;
+        ++hot_.runInserts;
         FileExtents &fx = files_[file];
         std::size_t pos = fx.lowerBound(first);
         NVFS_REQUIRE(pos == fx.v.size() ||
@@ -140,10 +170,14 @@ class ExtentIndex
     Run
     probeRun(FileId file, std::uint32_t block, std::uint32_t last) const
     {
+        ++hot_.probes;
         const FileExtents *fx = files_.find(file);
         if (fx == nullptr)
             return {false, last + 1};
+        const std::size_t previous_hint = fx->hint;
         const std::size_t pos = fx->lowerBound(block);
+        hot_.hintHits +=
+            static_cast<std::uint64_t>(pos == previous_hint);
         if (pos == fx->v.size())
             return {false, last + 1};
         if (fx->v[pos].block != block) {
@@ -169,7 +203,10 @@ class ExtentIndex
             n -= half;
         }
         const std::uint32_t run_end = base->block + 1;
-        return {true, std::min<std::uint32_t>(run_end, last + 1)};
+        const std::uint32_t end =
+            std::min<std::uint32_t>(run_end, last + 1);
+        hot_.runBlocks += end - block;
+        return {true, end};
     }
 
     /** Visit (block, slot) of resident blocks in [first, last]. */
@@ -280,7 +317,47 @@ class ExtentIndex
         }
     };
 
+    /**
+     * Locally-accumulated hot-path counters, flushed to obs by the
+     * destructor.  Moves zero the source so a moved-from index never
+     * double-flushes.
+     */
+    struct HotStats
+    {
+        std::uint64_t probes = 0;
+        std::uint64_t hintHits = 0;
+        std::uint64_t runBlocks = 0;
+        std::uint64_t runInserts = 0;
+
+        HotStats() = default;
+        HotStats(const HotStats &) = delete;
+        HotStats &operator=(const HotStats &) = delete;
+        HotStats(HotStats &&other) noexcept
+            : probes(other.probes), hintHits(other.hintHits),
+              runBlocks(other.runBlocks), runInserts(other.runInserts)
+        {
+            other.probes = 0;
+            other.hintHits = 0;
+            other.runBlocks = 0;
+            other.runInserts = 0;
+        }
+        HotStats &
+        operator=(HotStats &&other) noexcept
+        {
+            probes = other.probes;
+            hintHits = other.hintHits;
+            runBlocks = other.runBlocks;
+            runInserts = other.runInserts;
+            other.probes = 0;
+            other.hintHits = 0;
+            other.runBlocks = 0;
+            other.runInserts = 0;
+            return *this;
+        }
+    };
+
     util::FlatMap<FileId, FileExtents, util::SplitMix64Hash> files_;
+    mutable HotStats hot_;
 };
 
 } // namespace nvfs::cache

@@ -8,6 +8,7 @@
 #include "core/client/unified_model.hpp"
 #include "core/client/volatile_model.hpp"
 #include "core/client/write_aside_model.hpp"
+#include "util/env.hpp"
 #include "util/log.hpp"
 
 namespace nvfs::core {
@@ -27,7 +28,7 @@ bool
 defaultExtentEngine()
 {
     static const bool value = [] {
-        const char *env = std::getenv("NVFS_BLOCK_ENGINE");
+        const char *env = util::envRaw("NVFS_BLOCK_ENGINE");
         if (env == nullptr || *env == '\0')
             return true;
         const std::string_view name(env);

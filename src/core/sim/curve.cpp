@@ -11,6 +11,7 @@
 #include "cache/extent_index.hpp"
 #include "core/client/server_state.hpp"
 #include "core/sim/experiments.hpp"
+#include "obs/obs.hpp"
 #include "util/audit.hpp"
 #include "util/env.hpp"
 #include "util/fenwick.hpp"
@@ -1511,7 +1512,7 @@ bool
 curveEngineEnabled()
 {
     // Read per call (tests flip it between runs), warn once on junk.
-    const char *env = std::getenv("NVFS_CURVE_ENGINE");
+    const char *env = util::envRaw("NVFS_CURVE_ENGINE");
     if (env == nullptr || *env == '\0')
         return true;
     const std::string_view name(env);
@@ -1577,6 +1578,12 @@ runCurveSim(const prep::OpStream &ops, const CurveSpec &spec)
     NVFS_REQUIRE(curveSupported(spec),
                  "runCurveSim on an unsupported spec (use "
                  "runCurveSweep for automatic fallback)");
+    static const obs::Counter passes("curve.passes");
+    static const obs::Counter sizes("curve.sizes");
+    static const obs::Timer replayTimer("curve.replay");
+    passes.add();
+    sizes.add(spec.sizes.size());
+    const obs::StageTimer stage(replayTimer, "curve.replay");
     if (spec.axis == CurveAxis::VolatileBytes)
         return replayCurve<VolatileCurveClient>(ops, spec);
     return replayCurve<UnifiedCurveClient>(ops, spec);

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <tuple>
 
+#include "obs/obs.hpp"
 #include "prep/converter.hpp"
 #include "prep/op_cache.hpp"
 #include "trace/codec.hpp"
@@ -247,17 +248,40 @@ gridJobCount()
         static_cast<std::int64_t>(util::defaultJobCount()), 1, 65536));
 }
 
+namespace {
+
+/** TaskError context for one replay-grid cell. */
+std::string
+gridCellContext(std::size_t i, const ModelConfig &model)
+{
+    return "replay grid model " + std::to_string(i) + " (" +
+           modelKindName(model.kind) + ")";
+}
+
+} // namespace
+
 std::vector<Metrics>
 runClientGrid(const prep::OpStream &ops,
               const std::vector<ModelConfig> &models,
               std::uint64_t seed, unsigned width)
 {
+    static const obs::Counter cells("grid.cells");
+    static const obs::Timer cellTimer("grid.cell");
     std::vector<Metrics> results(models.size());
     if (width == 0)
         width = gridJobCount();
     if (width <= 1 || models.size() <= 1) {
-        for (std::size_t i = 0; i < models.size(); ++i)
-            results[i] = runClientSim(ops, models[i], seed);
+        for (std::size_t i = 0; i < models.size(); ++i) {
+            const util::TaskLabel label(gridCellContext(i, models[i]));
+            const obs::StageTimer stage(cellTimer, "grid.cell");
+            cells.add();
+            try {
+                results[i] = runClientSim(ops, models[i], seed);
+            } catch (...) {
+                std::rethrow_exception(
+                    util::wrapTaskContext(std::current_exception()));
+            }
+        }
         return results;
     }
 
@@ -287,10 +311,21 @@ runClientGrid(const prep::OpStream &ops,
                 state->next.fetch_add(1, std::memory_order_relaxed);
             if (i >= state->tasks)
                 return; // stragglers must not touch the references
-            try {
-                results[i] = runClientSim(ops, models[i], seed);
-            } catch (...) {
-                state->errors[i] = std::current_exception();
+            {
+                // Scope closed before the done-counter bump: the
+                // caller may return the moment done == tasks, and
+                // the cell's timer record must already be in the
+                // slab by then (counter exactness at quiescence).
+                const util::TaskLabel label(
+                    gridCellContext(i, models[i]));
+                const obs::StageTimer stage(cellTimer, "grid.cell");
+                cells.add();
+                try {
+                    results[i] = runClientSim(ops, models[i], seed);
+                } catch (...) {
+                    state->errors[i] = util::wrapTaskContext(
+                        std::current_exception());
+                }
             }
             if (state->done.fetch_add(1, std::memory_order_acq_rel) +
                     1 ==
@@ -313,10 +348,18 @@ runClientGrid(const prep::OpStream &ops,
                    state->tasks;
         });
     }
-    for (const std::exception_ptr &error : state->errors) {
-        if (error)
-            std::rethrow_exception(error);
+    // Take ownership of every error before rethrowing: straggler
+    // helpers still hold the shared grid state, and whichever thread
+    // drops the last reference releases the exception objects — that
+    // must be the caller, after its catch block is done reading.
+    std::exception_ptr first;
+    for (std::exception_ptr &error : state->errors) {
+        if (!first)
+            first = std::move(error);
+        error = nullptr;
     }
+    if (first)
+        std::rethrow_exception(first);
     return results;
 }
 

@@ -1,6 +1,7 @@
 #include "core/sim/sweep.hpp"
 
 #include "core/client/cluster_sim.hpp"
+#include "obs/obs.hpp"
 #include "prep/converter.hpp"
 #include "trace/stream.hpp"
 
@@ -21,13 +22,19 @@ SweepRunner::runTraceSweep(const std::vector<std::string> &trace_paths,
         [](const std::string &path) {
             // Runs on a pool worker, so the mmap ingest's ambient
             // parallelFor fans out across the same pool.
-            return prep::convertTrace(trace::readTraceFile(path));
+            trace::TraceBuffer raw = [&path] {
+                const obs::StageTimer stage("sweep.ingest", path);
+                return trace::readTraceFile(path);
+            }();
+            const obs::StageTimer stage("sweep.prep", path);
+            return prep::convertTrace(raw);
         },
         [&models, seed](prep::OpStream ops) {
             // The replay grid of the current point fans out over
             // NVFS_GRID_JOBS tasks (bit-identical to the serial model
             // loop) while the pipeline's own pool prepares the next
             // point.
+            const obs::StageTimer stage("sweep.replay");
             return runClientGrid(ops, models, seed);
         });
 }

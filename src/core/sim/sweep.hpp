@@ -82,11 +82,14 @@ class SweepRunner
             util::ThreadPool pool(
                 static_cast<unsigned>(worker_count));
             for (std::size_t i = 0; i < tasks.size(); ++i) {
+                const util::TaskLabel label("sweep task " +
+                                            std::to_string(i));
                 pool.submit([&tasks, &results, &errors, i] {
                     try {
                         results[i] = tasks[i]();
                     } catch (...) {
-                        errors[i] = std::current_exception();
+                        errors[i] = util::wrapTaskContext(
+                            std::current_exception());
                     }
                 });
             }
@@ -124,9 +127,30 @@ class SweepRunner
         using R = std::invoke_result_t<Replay &, Prepared>;
         std::vector<R> results;
         results.reserve(points.size());
+        // Name the sweep point for TaskError context: the point
+        // itself when it reads as a string (trace paths), the index
+        // otherwise.
+        auto pointContext = [&points](std::size_t k) {
+            std::string context =
+                "sweep point " + std::to_string(k);
+            if constexpr (std::is_convertible_v<const P &,
+                                                std::string>) {
+                context += " (";
+                context += points[k];
+                context += ")";
+            }
+            return context;
+        };
         if (jobs_ <= 1 || points.size() <= 1 || !pipelineEnabled()) {
-            for (const P &point : points)
-                results.push_back(replay(prepare(point)));
+            for (std::size_t k = 0; k < points.size(); ++k) {
+                const util::TaskLabel label(pointContext(k));
+                try {
+                    results.push_back(replay(prepare(points[k])));
+                } catch (...) {
+                    std::rethrow_exception(util::wrapTaskContext(
+                        std::current_exception()));
+                }
+            }
             return results;
         }
 
@@ -141,8 +165,18 @@ class SweepRunner
         auto submitPrepare = [&](std::size_t k) {
             auto task =
                 std::make_shared<std::packaged_task<Prepared()>>(
-                    [&prepare, &points, k] {
-                        return prepare(points[k]);
+                    [&prepare, &points, k, &pointContext] {
+                        // The packaged_task owns the exception (the
+                        // pool never sees it), so the point context
+                        // has to be attached right here.
+                        const util::TaskLabel label(pointContext(k));
+                        try {
+                            return prepare(points[k]);
+                        } catch (...) {
+                            std::rethrow_exception(
+                                util::wrapTaskContext(
+                                    std::current_exception()));
+                        }
                     });
             prepared[k] = task->get_future();
             pool.submit([task] { (*task)(); });
@@ -155,7 +189,13 @@ class SweepRunner
             // workers are never idle while the caller replays.
             if (submitted < points.size())
                 submitPrepare(submitted++);
-            results.push_back(replay(std::move(ready)));
+            const util::TaskLabel label(pointContext(k));
+            try {
+                results.push_back(replay(std::move(ready)));
+            } catch (...) {
+                std::rethrow_exception(
+                    util::wrapTaskContext(std::current_exception()));
+            }
         }
         return results;
     }

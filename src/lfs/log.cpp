@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nvram/fault.hpp"
+#include "obs/obs.hpp"
 #include "util/audit.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -188,7 +189,12 @@ LfsLog::seal(SealCause cause)
                                config_.summaryBytes, false});
     segment.summaryBytes = config_.summaryBytes;
 
-    // Stats.
+    // Stats (the obs mirror feeds nvfs_sim --stats; the per-log
+    // LogStats stays authoritative for the Table 3 reproduction).
+    static const obs::Counter sealed("lfs.segments_sealed");
+    static const obs::Counter partials("lfs.partial_segments");
+    static const obs::Counter fsyncForced("lfs.fsync_forced_partials");
+    sealed.add();
     ++stats_.segmentsWritten;
     stats_.dataBytes += segment.dataBytes;
     stats_.metadataBytes += segment.metadataBytes;
@@ -199,9 +205,11 @@ LfsLog::seal(SealCause cause)
     if (cause == SealCause::Cleaner) {
         ++stats_.cleanerSegments;
     } else if (partial) {
+        partials.add();
         ++stats_.partialSegments;
         stats_.partialDataBytes += segment.dataBytes;
         if (cause == SealCause::Fsync) {
+            fsyncForced.add();
             ++stats_.partialsByFsync;
             stats_.fsyncDataBytes += segment.dataBytes;
         } else if (cause == SealCause::Timeout) {

@@ -10,7 +10,9 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "obs/obs.hpp"
 #include "trace/codec.hpp"
+#include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/mapped_file.hpp"
 #include "util/table.hpp"
@@ -182,7 +184,7 @@ decodeOpsCache(const std::uint8_t *data, std::size_t size,
 std::optional<std::string>
 traceCacheDir()
 {
-    const char *env = std::getenv("NVFS_TRACE_CACHE");
+    const char *env = util::envRaw("NVFS_TRACE_CACHE");
     if (env == nullptr || *env == '\0')
         return std::nullopt;
     std::string dir(env);
@@ -224,10 +226,16 @@ opsCacheFileName(std::uint16_t trace_index, std::uint64_t profile_hash)
 std::optional<OpStream>
 loadCachedOps(const std::string &path, std::uint64_t expected_hash)
 {
+    static const obs::Counter hits("trace_cache.hit");
+    static const obs::Counter misses("trace_cache.miss");
+    static const obs::Counter rejected("trace_cache.rejected");
     const auto map = util::MappedFile::open(path);
-    if (!map.has_value())
+    if (!map.has_value()) {
+        misses.add();
         return std::nullopt; // cache miss (or unreadable — same thing)
+    }
     if (map->size() == 0) {
+        rejected.add();
         util::warn("trace cache: empty file " + path +
                    "; regenerating");
         return std::nullopt;
@@ -235,8 +243,11 @@ loadCachedOps(const std::string &path, std::uint64_t expected_hash)
     auto stream =
         decodeOpsCache(map->data(), map->size(), expected_hash);
     if (!stream) {
+        rejected.add();
         util::warn("trace cache: rejected " + path +
                    " (corrupt, truncated, or stale); regenerating");
+    } else {
+        hits.add();
     }
     return stream;
 }
@@ -281,6 +292,8 @@ storeCachedOps(const std::string &path, const OpStream &stream,
         util::warn("trace cache: rename to " + path + " failed");
         return false;
     }
+    static const obs::Counter stores("trace_cache.store");
+    stores.add();
     return true;
 }
 

@@ -62,6 +62,30 @@ envInt(const char *name, std::int64_t fallback, std::int64_t min,
     return *value;
 }
 
+std::int64_t
+argInt(const char *what, const char *text, std::int64_t fallback)
+{
+    const auto value = tryParseInt(text);
+    if (!value) {
+        warn(format("%s='%s' is not an integer; using %lld", what,
+                    text, static_cast<long long>(fallback)));
+        return fallback;
+    }
+    return *value;
+}
+
+double
+argDouble(const char *what, const char *text, double fallback)
+{
+    const auto value = tryParseDouble(text);
+    if (!value) {
+        warn(format("%s='%s' is not a number; using %g", what, text,
+                    fallback));
+        return fallback;
+    }
+    return *value;
+}
+
 double
 envDouble(const char *name, double fallback, double min, double max)
 {

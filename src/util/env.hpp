@@ -42,4 +42,16 @@ double envDouble(const char *name, double fallback, double min,
 /** Raw environment lookup (nullptr when unset). */
 const char *envRaw(const char *name);
 
+/**
+ * Strict positional-argument parse (the examples' argv handling).
+ * Malformed text warns with the argument name — "trace='7x' is not an
+ * integer; using 7" — and falls back; it never silently becomes 0 the
+ * way atoi did.
+ */
+std::int64_t argInt(const char *what, const char *text,
+                    std::int64_t fallback);
+
+/** Double flavour of argInt (rejects non-finite values too). */
+double argDouble(const char *what, const char *text, double fallback);
+
 } // namespace nvfs::util

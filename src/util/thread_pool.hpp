@@ -46,14 +46,94 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/task_deque.hpp"
 
 namespace nvfs::util {
+
+/**
+ * A task exception wrapped with the context of the task that threw
+ * it.  Exceptions rethrown from ThreadPool::wait() / parallelFor used
+ * to surface with no hint of *which* task failed — a replay error in
+ * a 24-point sweep read the same as one in a smoke test.  Tasks (and
+ * the sweep/grid wiring) now name themselves with a TaskLabel; the
+ * pool wraps any escaping std::exception in a TaskError whose message
+ * leads with that label.
+ */
+class TaskError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII thread-local label naming the work currently executing on this
+ * thread ("sweep point 2 (t4.trace)", "replay grid model 1
+ * (unified)").  Labels nest; the innermost one wins.  submit()
+ * snapshots the submitter's label into the task, so context crosses
+ * the pool boundary onto whichever worker runs the task.
+ */
+class TaskLabel
+{
+  public:
+    explicit TaskLabel(std::string text) : prev_(std::move(slot()))
+    {
+        slot() = std::move(text);
+    }
+
+    TaskLabel(const TaskLabel &) = delete;
+    TaskLabel &operator=(const TaskLabel &) = delete;
+
+    ~TaskLabel() { slot() = std::move(prev_); }
+
+    /** The innermost active label on this thread ("" when none). */
+    static const std::string &current() { return slot(); }
+
+  private:
+    static std::string &
+    slot()
+    {
+        static thread_local std::string label;
+        return label;
+    }
+
+    std::string prev_;
+};
+
+/**
+ * Wrap a captured exception with `context` (default: the calling
+ * thread's active TaskLabel).  std::exception payloads become a
+ * TaskError("context: what()"); foreign exceptions and empty contexts
+ * pass through untouched.
+ */
+inline std::exception_ptr
+wrapTaskContext(std::exception_ptr error, const std::string &context)
+{
+    if (!error || context.empty())
+        return error;
+    try {
+        std::rethrow_exception(error);
+    } catch (const std::exception &e) {
+        return std::make_exception_ptr(
+            TaskError(context + ": " + e.what()));
+    } catch (...) {
+        return error;
+    }
+}
+
+inline std::exception_ptr
+wrapTaskContext(std::exception_ptr error)
+{
+    return wrapTaskContext(std::move(error), TaskLabel::current());
+}
 
 /**
  * Worker count for parallel work: the NVFS_JOBS environment variable
@@ -121,8 +201,13 @@ class ThreadPool
     void
     submit(std::function<void()> task)
     {
-        auto *node = new Task{std::move(task)};
-        pending_.fetch_add(1, std::memory_order_relaxed);
+        static const obs::Counter submitted("pool.tasks_submitted");
+        static const obs::MaxCounter depth("pool.queue_depth_hwm");
+        auto *node =
+            new Task{std::move(task), TaskLabel::current()};
+        submitted.add();
+        depth.observe(
+            pending_.fetch_add(1, std::memory_order_relaxed) + 1);
         if (tlsPool_ == this && tlsWorker_ != nullptr) {
             tlsWorker_->deque.push(node);
         } else {
@@ -196,7 +281,8 @@ class ThreadPool
                     runChunk(c);
                 } catch (...) {
                     if (!first)
-                        first = std::current_exception();
+                        first =
+                            wrapTaskContext(std::current_exception());
                 }
             }
             if (first)
@@ -214,7 +300,8 @@ class ThreadPool
                 try {
                     runChunk(c);
                 } catch (...) {
-                    fork->errors[c] = std::current_exception();
+                    fork->errors[c] =
+                        wrapTaskContext(std::current_exception());
                 }
                 if (fork->done.fetch_add(
                         1, std::memory_order_acq_rel) +
@@ -241,10 +328,20 @@ class ThreadPool
                        fork->chunks;
             });
         }
-        for (const std::exception_ptr &error : fork->errors) {
-            if (error)
-                std::rethrow_exception(error);
+        // Take ownership of every error before rethrowing: a
+        // straggler worker still holds a shared_ptr to the fork
+        // state, and if it dropped the last reference it would
+        // release the exception objects on its own thread — after
+        // the caller's catch block has already read them.  Moving
+        // them out here keeps the final release on the caller.
+        std::exception_ptr first;
+        for (std::exception_ptr &error : fork->errors) {
+            if (!first)
+                first = std::move(error);
+            error = nullptr;
         }
+        if (first)
+            std::rethrow_exception(first);
     }
 
     /**
@@ -312,6 +409,9 @@ class ThreadPool
     struct Task
     {
         std::function<void()> fn;
+        /** Submitter's TaskLabel, re-installed while fn runs so a
+         *  throwing task names itself (and nested submits inherit). */
+        std::string context;
     };
 
     struct Worker
@@ -394,8 +494,12 @@ class ThreadPool
                 Worker &victim = *workers_[(self.index + i) % n];
                 if (victim.deque.maybeEmpty())
                     continue;
-                if (Task *task = victim.deque.steal())
+                if (Task *task = victim.deque.steal()) {
+                    static const obs::Counter stolen(
+                        "pool.tasks_stolen");
+                    stolen.add();
                     return task;
+                }
             }
         }
         return nullptr;
@@ -404,12 +508,33 @@ class ThreadPool
     void
     runTask(Task *task)
     {
-        try {
-            task->fn();
-        } catch (...) {
+        static const obs::Counter executed("pool.tasks_executed");
+        executed.add();
+        std::exception_ptr error;
+        if (task->context.empty()) {
+            try {
+                task->fn();
+            } catch (...) {
+                error = wrapTaskContext(std::current_exception());
+            }
+        } else {
+            const TaskLabel label(std::move(task->context));
+            try {
+                task->fn();
+            } catch (...) {
+                error = wrapTaskContext(std::current_exception());
+            }
+        }
+        if (error) {
             const std::lock_guard<std::mutex> lock(errorMutex_);
+            // Hand the reference over (or drop it) under the lock:
+            // a copy lingering in this frame would make this worker
+            // the one to release the exception object after wait()
+            // has rethrown it and the caller has read it.
             if (!error_)
-                error_ = std::current_exception();
+                error_ = std::move(error);
+            else
+                error = nullptr;
         }
         delete task;
         if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {

@@ -31,6 +31,8 @@
 #include "check/fuzz.hpp"
 #include "core/sim/experiments.hpp"
 #include "core/sim/sweep.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "prep/characterize.hpp"
 #include "prep/converter.hpp"
 #include "trace/stream.hpp"
@@ -469,18 +471,21 @@ cmdSweep(const Args &args)
         const auto per_trace = runner.runPipelined(
             point_list,
             [&](const std::string &point) {
-                trace::TraceBuffer buffer;
-                if (from_files) {
-                    buffer = text ? trace::readTraceText(point)
-                                  : trace::readTraceFile(point);
-                } else {
+                trace::TraceBuffer buffer = [&] {
+                    const obs::StageTimer stage("sweep.ingest",
+                                                point);
+                    if (from_files) {
+                        return text ? trace::readTraceText(point)
+                                    : trace::readTraceFile(point);
+                    }
                     const auto number = util::tryParseInt(point);
                     if (!number.has_value())
                         util::fatal("--trace expects integers, got '" +
                                     point + "'");
-                    buffer = workload::generateStandardTrace(
+                    return workload::generateStandardTrace(
                         static_cast<int>(*number), scale, compat);
-                }
+                }();
+                const obs::StageTimer stage("sweep.prep", point);
                 return prep::convertTrace(buffer);
             },
             [&](prep::OpStream ops) {
@@ -488,6 +493,7 @@ cmdSweep(const Args &args)
                 // NVFS_GRID_JOBS tasks, bit-identical to the serial
                 // model loop; --curve collapses each LRU-managed
                 // model column into one single-pass replay.
+                const obs::StageTimer stage("sweep.replay");
                 if (curve) {
                     return runCurveGrid(runner, ops, model_names,
                                         nvram_sizes, volatile_bytes,
@@ -505,12 +511,21 @@ cmdSweep(const Args &args)
         return 0;
     }
 
-    const auto buffer = loadOrGenerate(args);
-    const auto ops = prep::convertTrace(buffer);
-    const auto results =
-        curve ? runCurveGrid(runner, ops, model_names, nvram_sizes,
-                             volatile_bytes, policy)
-              : runner.runClientSweep(ops, models);
+    const auto buffer = [&] {
+        const obs::StageTimer stage("sweep.ingest");
+        return loadOrGenerate(args);
+    }();
+    const auto ops = [&] {
+        const obs::StageTimer stage("sweep.prep");
+        return prep::convertTrace(buffer);
+    }();
+    const auto results = [&] {
+        const obs::StageTimer stage("sweep.replay");
+        return curve ? runCurveGrid(runner, ops, model_names,
+                                    nvram_sizes, volatile_bytes,
+                                    policy)
+                     : runner.runClientSweep(ops, models);
+    }();
     printSweepTable(
         util::format("%s sweep, %u jobs, %zu runs",
                      curve ? "curve" : "parallel", runner.jobs(),
@@ -578,20 +593,19 @@ usage()
         "  check    [--runs 20] [--ops 2000] [--seed 1] "
         "[--clients 4]\n"
         "           [--files 48] [--audit 64] [--max-seconds T]\n"
-        "           [--no-shrink]   differential fuzz with audits\n");
+        "           [--no-shrink]   differential fuzz with audits\n"
+        "\n"
+        "Every command also accepts --stats (print the observability\n"
+        "counter/timer table after the run).  NVFS_STATS_OUT=FILE\n"
+        "writes the same snapshot as JSON at exit; NVFS_TRACE_OUT=FILE\n"
+        "writes Chrome trace-event spans (open in about:tracing).\n");
 }
 
 } // namespace
 
 int
-main(int argc, char **argv)
+dispatch(const std::string &command, const Args &args)
 {
-    if (argc < 2) {
-        usage();
-        return 1;
-    }
-    const std::string command = argv[1];
-    const Args args(argc, argv, 2);
     if (command == "generate")
         return cmdGenerate(args);
     if (command == "validate")
@@ -610,4 +624,24 @@ main(int argc, char **argv)
         return cmdCheck(args);
     usage();
     return 1;
+}
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    // Registers the NVFS_STATS_OUT / NVFS_TRACE_OUT exit hooks (and
+    // enables span buffering) before any simulation starts.
+    obs::autoExportFromEnv();
+    const std::string command = argv[1];
+    const Args args(argc, argv, 2);
+    const int rc = dispatch(command, args);
+    if (args.has("stats")) {
+        std::printf("%s\n",
+                    obs::renderTable(obs::snapshot()).c_str());
+    }
+    return rc;
 }
