@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "check/shrink.hpp"
 #include "core/client/cluster_sim.hpp"
 #include "util/audit.hpp"
 #include "util/rng.hpp"
@@ -87,52 +88,24 @@ toRows(const OpStream &stream)
 }
 
 /**
- * Delta-debugging shrink: repeatedly drop chunks (halving the chunk
- * size down to single ops) while the failure keeps reproducing.
- * Removing ops cannot break stream validity — timestamps stay sorted
- * and ids stay in range — so every candidate is a legal input.
+ * Delta-debugging shrink over the op rows.  Removing ops cannot break
+ * stream validity — timestamps stay sorted and ids stay in range — so
+ * every candidate is a legal input.  Each probe replays six
+ * simulations; the default deltaShrink budget keeps that bounded.
  */
 std::vector<Op>
 shrinkOps(std::vector<Op> rows, std::uint32_t client_count,
           const FuzzConfig &config, std::string &what)
 {
-    // Each probe replays six simulations; keep the budget bounded.
-    std::size_t probes_left = 400;
-    std::size_t chunk = rows.size() / 2;
-    if (chunk == 0)
-        chunk = 1;
-    while (probes_left > 0) {
-        bool removed = false;
-        for (std::size_t start = 0;
-             start < rows.size() && probes_left > 0;) {
-            const std::size_t end =
-                std::min(rows.size(), start + chunk);
-            std::vector<Op> candidate;
-            candidate.reserve(rows.size() - (end - start));
-            candidate.insert(candidate.end(), rows.begin(),
-                             rows.begin() +
-                                 static_cast<std::ptrdiff_t>(start));
-            candidate.insert(candidate.end(),
-                             rows.begin() +
-                                 static_cast<std::ptrdiff_t>(end),
-                             rows.end());
-            --probes_left;
+    return deltaShrink(
+        std::move(rows), [&](const std::vector<Op> &candidate) {
             const auto failure = runDifferential(
                 makeStream(candidate, client_count), config);
-            if (failure.has_value()) {
-                rows = std::move(candidate);
-                what = *failure;
-                removed = true; // retry same position, new content
-            } else {
-                start = end;
-            }
-        }
-        if (chunk == 1 && !removed)
-            break;
-        if (chunk > 1)
-            chunk = (chunk + 1) / 2;
-    }
-    return rows;
+            if (!failure.has_value())
+                return false;
+            what = *failure;
+            return true;
+        });
 }
 
 } // namespace

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Generic delta-debugging shrink (Zeller's ddmin, the chunk-halving
+ * variant).  Given a failing input sequence and a predicate that says
+ * whether a candidate subsequence still fails, repeatedly drop chunks
+ * — halving the chunk size down to single elements — while the
+ * failure keeps reproducing.  Extracted from the differential fuzzer
+ * so the crash-schedule explorer can shrink failing workloads with
+ * the same machinery.
+ *
+ * The caller guarantees that removing elements keeps the input legal
+ * (true for op streams: timestamps stay sorted, ids stay in range).
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace nvfs::check {
+
+/**
+ * Shrink `items` to a (locally) minimal subsequence for which
+ * `still_fails` returns true.  `still_fails` is called with each
+ * candidate subsequence; a true return commits the removal.  The
+ * caller's predicate typically re-runs a simulation per probe, so the
+ * number of probes is capped by `probe_budget`.
+ *
+ * Precondition: still_fails(items) is true (the input reproduces).
+ */
+template <typename T, typename StillFails>
+std::vector<T>
+deltaShrink(std::vector<T> items, StillFails &&still_fails,
+            std::size_t probe_budget = 400)
+{
+    std::size_t probes_left = probe_budget;
+    std::size_t chunk = items.size() / 2;
+    if (chunk == 0)
+        chunk = 1;
+    while (probes_left > 0) {
+        bool removed = false;
+        for (std::size_t start = 0;
+             start < items.size() && probes_left > 0;) {
+            const std::size_t end =
+                std::min(items.size(), start + chunk);
+            std::vector<T> candidate;
+            candidate.reserve(items.size() - (end - start));
+            candidate.insert(candidate.end(), items.begin(),
+                             items.begin() +
+                                 static_cast<std::ptrdiff_t>(start));
+            candidate.insert(candidate.end(),
+                             items.begin() +
+                                 static_cast<std::ptrdiff_t>(end),
+                             items.end());
+            --probes_left;
+            if (still_fails(candidate)) {
+                items = std::move(candidate);
+                removed = true; // retry same position, new content
+            } else {
+                start = end;
+            }
+        }
+        if (chunk == 1 && !removed)
+            break;
+        if (chunk > 1)
+            chunk = (chunk + 1) / 2;
+    }
+    return items;
+}
+
+} // namespace nvfs::check

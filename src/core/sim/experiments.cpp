@@ -418,6 +418,21 @@ class OpCollector : public ServerWriteSink
 
 } // namespace
 
+std::vector<workload::ServerOp>
+collectServerOps(const prep::OpStream &ops, const ModelConfig &model,
+                 std::uint64_t seed)
+{
+    OpCollector collector;
+    ClusterConfig cluster;
+    cluster.model = model;
+    cluster.model.sink = &collector;
+    cluster.seed = seed;
+    ClusterSim sim(cluster, std::max<std::uint32_t>(
+                                1, ops.clientCount));
+    sim.run(ops);
+    return collector.take();
+}
+
 EndToEndResult
 runEndToEnd(const prep::OpStream &ops, const ModelConfig &model,
             Bytes server_buffer_bytes, std::uint64_t seed)

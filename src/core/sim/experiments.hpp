@@ -118,6 +118,17 @@ ServerRunResult runServerSim(TimeUs duration, double scale,
  */
 double benchScale();
 
+/**
+ * Derive the server-bound op stream a client simulation produces: run
+ * the cluster sim over `ops` with a collecting ServerWriteSink and
+ * return the write/fsync traffic that reached the server, time
+ * sorted.  This is the workload the crash-schedule explorer replays
+ * against an instrumented FileServer.
+ */
+std::vector<workload::ServerOp>
+collectServerOps(const prep::OpStream &ops, const ModelConfig &model,
+                 std::uint64_t seed = 42);
+
 /** Result of composing both halves of the paper. */
 struct EndToEndResult
 {

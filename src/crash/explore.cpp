@@ -1,0 +1,322 @@
+#include "crash/explore.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "check/shrink.hpp"
+#include "obs/obs.hpp"
+#include "util/audit.hpp"
+#include "util/env.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace nvfs::crash {
+
+namespace {
+
+/** The NVRAM ledger tag FileServer stages a block under. */
+std::uint64_t
+blockTag(FileId file, std::uint32_t block)
+{
+    return (static_cast<std::uint64_t>(file) << 32) | block;
+}
+
+/** A seeded uniform sample of `want` distinct 1-based sites. */
+std::vector<std::uint64_t>
+sampleSites(std::uint64_t total, std::uint64_t want,
+            std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::set<std::uint64_t> picked;
+    while (picked.size() < want)
+        picked.insert(rng.uniformInt(1, total));
+    return {picked.begin(), picked.end()};
+}
+
+/**
+ * Sites to crash at, 1-based: NVFS_CRASH_SITES / NVFS_CRASH_SAMPLE
+ * when set (strict-parsed; malformed values are hard errors), else
+ * config.sampleSites when positive, else every site the census
+ * counted.
+ */
+std::vector<std::uint64_t>
+selectSites(std::uint64_t total, const ExploreConfig &config)
+{
+    const std::uint64_t seed = config.seed;
+    const char *list = util::envRaw("NVFS_CRASH_SITES");
+    const char *sample = util::envRaw("NVFS_CRASH_SAMPLE");
+    const bool have_list = list != nullptr && *list != '\0';
+    const bool have_sample = sample != nullptr && *sample != '\0';
+    if (have_list && have_sample) {
+        util::fatal("set at most one of NVFS_CRASH_SITES and "
+                    "NVFS_CRASH_SAMPLE");
+    }
+
+    std::vector<std::uint64_t> sites;
+    if (have_list) {
+        const std::string spec(list);
+        std::size_t pos = 0;
+        while (pos < spec.size()) {
+            std::size_t comma = spec.find(',', pos);
+            if (comma == std::string::npos)
+                comma = spec.size();
+            const std::string item = spec.substr(pos, comma - pos);
+            pos = comma + 1;
+            if (item.empty())
+                continue;
+            const auto site = util::tryParseInt(item);
+            if (!site || *site <= 0) {
+                util::fatal(util::format(
+                    "NVFS_CRASH_SITES: item '%s' is not a positive "
+                    "site index",
+                    item.c_str()));
+            }
+            if (static_cast<std::uint64_t>(*site) > total) {
+                util::fatal(util::format(
+                    "NVFS_CRASH_SITES: site %lld is out of range "
+                    "(the workload has %llu sites)",
+                    static_cast<long long>(*site),
+                    static_cast<unsigned long long>(total)));
+            }
+            sites.push_back(static_cast<std::uint64_t>(*site));
+        }
+        std::sort(sites.begin(), sites.end());
+        sites.erase(std::unique(sites.begin(), sites.end()),
+                    sites.end());
+        return sites;
+    }
+    if (have_sample) {
+        const auto n = util::tryParseInt(sample);
+        if (!n || *n <= 0) {
+            util::fatal(util::format(
+                "NVFS_CRASH_SAMPLE: '%s' is not a positive sample "
+                "size",
+                sample));
+        }
+        const auto want = static_cast<std::uint64_t>(*n);
+        // A sample covering everything falls through to exhaustive
+        // enumeration.
+        if (want < total)
+            return sampleSites(total, want, seed);
+    } else if (config.sampleSites > 0 && config.sampleSites < total) {
+        return sampleSites(total, config.sampleSites, seed);
+    }
+    sites.reserve(total);
+    for (std::uint64_t site = 1; site <= total; ++site)
+        sites.push_back(site);
+    return sites;
+}
+
+/** Count damaged (torn/corrupt) segments of a log. */
+std::uint32_t
+damagedSegments(const lfs::LfsLog &log)
+{
+    std::uint32_t damaged = 0;
+    for (const lfs::Segment &segment : log.segments()) {
+        if (segment.torn || segment.corrupt)
+            ++damaged;
+    }
+    return damaged;
+}
+
+} // namespace
+
+std::optional<std::string>
+verifyDurability(const CrashSiteRegistry &registry,
+                 lfs::RecoveryReport *aggregate)
+{
+    for (const CrashSiteRegistry::TrackedFs &fs : registry.tracked()) {
+        const lfs::LfsLog &log = *fs.log;
+
+        // 5. The post-crash in-memory model must still be coherent —
+        // a crash leaves durable state incomplete, never corrupt.
+        try {
+            log.auditInvariants();
+        } catch (const util::AuditError &error) {
+            return std::string("post-crash audit failed: ") +
+                   error.what();
+        }
+
+        // 1. Strict roll-forward reproduces the durable state of the
+        // last successful seal commit exactly: nothing acked-durable
+        // is lost, nothing the host never sealed appears.
+        const lfs::RecoveryResult strict = lfs::rollForward(log);
+        if (!(strict.inodes == fs.sealedSnapshot)) {
+            return util::format(
+                "recovered inode map diverges from the durable state "
+                "at the last seal commit (%zu blocks recovered, %zu "
+                "expected)",
+                static_cast<std::size_t>(strict.inodes.blockCount()),
+                static_cast<std::size_t>(
+                    fs.sealedSnapshot.blockCount()));
+        }
+
+        // 2. Recovery is idempotent: replaying the same post-crash
+        // log again must be byte-for-byte identical.
+        const lfs::RecoveryResult again = lfs::rollForward(log);
+        if (!(strict == again))
+            return "strict roll-forward is not idempotent";
+
+        // 3. Quarantining recovery: skips (not aborts) every damaged
+        // segment, reports the damage, and — with no segments sealed
+        // after a crash — agrees with strict recovery on the map.
+        const lfs::RecoveryOptions quarantine{true};
+        const lfs::RecoveryResult skipped =
+            lfs::rollForward(log, nullptr, quarantine);
+        if (!(skipped ==
+              lfs::rollForward(log, nullptr, quarantine)))
+            return "quarantining roll-forward is not idempotent";
+        if (skipped.stoppedAtTornSegment)
+            return "quarantining roll-forward aborted at a damaged "
+                   "segment instead of skipping it";
+        if (skipped.report.segmentsQuarantined != damagedSegments(log)) {
+            return util::format(
+                "quarantine accounted %u damaged segments, log has "
+                "%u",
+                skipped.report.segmentsQuarantined,
+                damagedSegments(log));
+        }
+        if (!(skipped.inodes == strict.inodes)) {
+            return "quarantining and strict recovery disagree on a "
+                   "crash-terminated log";
+        }
+        if (aggregate != nullptr) {
+            aggregate->segmentsScanned +=
+                skipped.report.segmentsScanned;
+            aggregate->segmentsQuarantined +=
+                skipped.report.segmentsQuarantined;
+            aggregate->blocksLost += skipped.report.blocksLost;
+            aggregate->metaOpsLost += skipped.report.metaOpsLost;
+        }
+
+        // 4. Buffered mode: the NVRAM write buffer covers every block
+        // the crash caught outside a durable segment — acked data
+        // survives any crash, the paper's central claim.
+        if (fs.device != nullptr) {
+            const std::unordered_set<std::uint64_t> staged(
+                fs.stagedAtCrash.begin(), fs.stagedAtCrash.end());
+            for (const auto &[file, block] : fs.pendingAtCrash) {
+                if (staged.count(blockTag(file, block)) == 0) {
+                    return util::format(
+                        "block (file %u, block %u) was pending at "
+                        "the crash but not staged in NVRAM",
+                        file, block);
+                }
+            }
+            for (const lfs::Segment &segment : log.segments()) {
+                if (!(segment.torn || segment.corrupt) ||
+                    segment.cause == lfs::SealCause::Cleaner)
+                    continue;
+                for (const lfs::SegmentEntry &entry :
+                     segment.entries) {
+                    if (entry.kind != lfs::EntryKind::Data)
+                        continue;
+                    if (staged.count(blockTag(
+                            entry.file, entry.blockIndex)) == 0) {
+                        return util::format(
+                            "block (file %u, block %u) was lost with "
+                            "torn segment %u and is not staged in "
+                            "NVRAM",
+                            entry.file, entry.blockIndex, segment.id);
+                    }
+                }
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+CrashVerdict
+exploreOne(const std::vector<workload::ServerOp> &ops,
+           const ExploreConfig &config, std::uint64_t site)
+{
+    CrashSiteRegistry registry;
+    registry.armCrash(site);
+    server::FileServer server(config.fsNames, config.server);
+    server.setCrashHook(&registry);
+    for (std::size_t i = 0; i < server.fsCount(); ++i) {
+        const auto fs = static_cast<FsId>(i);
+        registry.track(server.log(fs), server.nvramDevice(fs));
+    }
+    server.run(ops, [&registry] { return registry.dead(); });
+
+    CrashVerdict verdict;
+    verdict.crashed = registry.crash().has_value();
+    if (!verdict.crashed) {
+        // The census counted this site, so a deterministic replay
+        // must reach it again.
+        verdict.violation =
+            Violation{site, nvram::CrashSiteKind::SealBegin,
+                      "armed crash site was never reached on replay "
+                      "(nondeterministic schedule)",
+                      {}};
+        return verdict;
+    }
+    if (const auto what =
+            verifyDurability(registry, &verdict.quarantine)) {
+        verdict.violation = Violation{site, registry.crash()->kind,
+                                      *what, {}};
+    }
+    return verdict;
+}
+
+ExploreResult
+explore(const std::vector<workload::ServerOp> &ops,
+        const ExploreConfig &config)
+{
+    static const obs::Counter explored("crash.crashes_explored");
+    static const obs::Counter violated("crash.oracle_violations");
+
+    ExploreResult result;
+
+    // Census: one clean replay counts the schedule space.
+    {
+        CrashSiteRegistry census;
+        server::FileServer server(config.fsNames, config.server);
+        server.setCrashHook(&census);
+        for (std::size_t i = 0; i < server.fsCount(); ++i) {
+            const auto fs = static_cast<FsId>(i);
+            census.track(server.log(fs), server.nvramDevice(fs));
+        }
+        server.run(ops);
+        result.sitesTotal = census.sitesSeen();
+        result.sitesByKind = census.sitesByKind();
+    }
+
+    // Crash once per selected site and oracle-check the recovery.
+    for (const std::uint64_t site :
+         selectSites(result.sitesTotal, config)) {
+        CrashVerdict verdict = exploreOne(ops, config, site);
+        ++result.crashesExplored;
+        explored.add();
+        result.segmentsQuarantined +=
+            verdict.quarantine.segmentsQuarantined;
+        result.blocksLost += verdict.quarantine.blocksLost;
+        result.metaOpsLost += verdict.quarantine.metaOpsLost;
+        if (!verdict.violation.has_value())
+            continue;
+        violated.add();
+        Violation violation = std::move(*verdict.violation);
+        if (config.shrinkOnFailure) {
+            // Minimize the op stream while the same crash site keeps
+            // violating the oracle.  Dropping ops keeps the stream
+            // legal (times stay sorted); the site numbering shifts,
+            // so the predicate re-runs the full crash replay.
+            violation.repro = check::deltaShrink(
+                ops,
+                [&](const std::vector<workload::ServerOp>
+                        &candidate) {
+                    const CrashVerdict probe =
+                        exploreOne(candidate, config, site);
+                    return probe.violation.has_value();
+                },
+                config.shrinkBudget);
+        }
+        result.violations.push_back(std::move(violation));
+    }
+    return result;
+}
+
+} // namespace nvfs::crash

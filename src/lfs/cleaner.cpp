@@ -21,6 +21,8 @@ Cleaner::clean(LfsLog &log, std::uint32_t target_free, bool force)
         log.config().summaryBytes;
 
     while (force || log.freeSegments() < target_free) {
+        if (log.crashed())
+            break; // the host died; no further cleaning happens
         const bool forced_pass = force;
         force = false; // force means "at least one pass"
 
@@ -79,7 +81,13 @@ Cleaner::clean(LfsLog &log, std::uint32_t target_free, bool force)
                 result.liveBytesCopied += entry.bytes;
             }
         }
+        // A crash mid-pass leaves the copies (and thus the victims'
+        // liveness) incomplete; the dead host never reclaims.
+        if (log.crashed())
+            break;
         log.cleanerFlush();
+        if (log.crashed())
+            break;
         for (const std::uint32_t victim_id : batch) {
             log.reclaim(victim_id);
             ++result.segmentsReclaimed;

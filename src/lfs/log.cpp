@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nvram/crash_site.hpp"
 #include "nvram/fault.hpp"
 #include "obs/obs.hpp"
 #include "util/audit.hpp"
@@ -63,6 +64,19 @@ LfsLog::appendInternal(FileId file, std::uint32_t block, Bytes begin,
     NVFS_REQUIRE(begin < end && end <= config_.blockBytes,
                  "block write range out of range");
 
+    if (crashHook_ != nullptr) {
+        switch (crashHook_->onSite(nvram::CrashSiteKind::JournalAppend,
+                                   file, this)) {
+          case nvram::CrashAction::PowerFail:
+          case nvram::CrashAction::Dead:
+            // The write dies in volatile memory before reaching the
+            // open segment; nothing durable ever names it.
+            return;
+          default:
+            break;
+        }
+    }
+
     // Rewriting a block already in the open segment unions the dirty
     // ranges: the block occupies one slot in the segment buffer.
     const auto key = std::make_pair(file, block);
@@ -74,6 +88,8 @@ LfsLog::appendInternal(FileId file, std::uint32_t block, Bytes begin,
         pendingData_ += pb.bytes() - before;
         if (cleaner)
             stats_.cleanerCopiedBytes += pb.bytes() - before;
+        else
+            pb.cleaner = false; // fresh data joined a cleaner copy
         return;
     }
 
@@ -92,6 +108,7 @@ LfsLog::appendInternal(FileId file, std::uint32_t block, Bytes begin,
     PendingBlock pb;
     pb.file = file;
     pb.block = block;
+    pb.cleaner = cleaner;
     pb.ranges.insert(begin, end);
     pending_.push_back(std::move(pb));
     ++pendingFiles_[file];
@@ -138,6 +155,26 @@ LfsLog::seal(SealCause cause)
         return false;
     }
 
+    if (crashHook_ != nullptr) {
+        switch (crashHook_->onSite(nvram::CrashSiteKind::SealBegin, 0,
+                                   this)) {
+          case nvram::CrashAction::PowerFail:
+            // Power died before the write began: the disk is untouched
+            // and the open segment's volatile contents are gone.
+            pending_.clear();
+            pendingIndex_.clear();
+            pendingFiles_.clear();
+            pendingData_ = 0;
+            pendingJournal_.clear();
+            return false;
+          case nvram::CrashAction::Dead:
+            // The host is already down; the write is never issued.
+            return false;
+          default:
+            break;
+        }
+    }
+
     nvram::SealFault fault = nvram::SealFault::None;
     if (faults_ != nullptr)
         fault = faults_->onSeal();
@@ -166,6 +203,21 @@ LfsLog::seal(SealCause cause)
     }
 
     for (const PendingBlock &pb : pending_) {
+        if (crashHook_ != nullptr) {
+            switch (crashHook_->onSite(
+                nvram::CrashSiteKind::InodeUpdate, pb.file, this)) {
+              case nvram::CrashAction::Torn:
+              case nvram::CrashAction::Dead:
+                // Crash mid-seal: some prefix of the data is on disk
+                // but the summary never follows.  The in-memory image
+                // still completes (recovery never parses a torn
+                // segment, so its exact contents are moot).
+                segment.torn = true;
+                break;
+              default:
+                break;
+            }
+        }
         const SegmentAddress address{
             segment.id, static_cast<std::uint32_t>(
                             segment.entries.size())};
@@ -238,12 +290,35 @@ LfsLog::seal(SealCause cause)
     pendingIndex_.clear();
     pendingFiles_.clear();
     pendingData_ = 0;
+
+    if (crashHook_ != nullptr) {
+        switch (crashHook_->onSite(nvram::CrashSiteKind::SealCommit,
+                                   segments_.back().id, this)) {
+          case nvram::CrashAction::Torn:
+          case nvram::CrashAction::Dead:
+            // The summary block itself never reached the disk.
+            segments_.back().torn = true;
+            break;
+          default:
+            break;
+        }
+    }
     return true;
 }
 
 void
 LfsLog::deleteFile(FileId file)
 {
+    if (crashHook_ != nullptr) {
+        switch (crashHook_->onSite(nvram::CrashSiteKind::JournalAppend,
+                                   file, this)) {
+          case nvram::CrashAction::PowerFail:
+          case nvram::CrashAction::Dead:
+            return; // the delete dies in volatile memory
+          default:
+            break;
+        }
+    }
     // Drop pending blocks of the file.
     if (pendingFiles_.erase(file) > 0) {
         std::vector<PendingBlock> kept;
@@ -267,6 +342,16 @@ LfsLog::deleteFile(FileId file)
 void
 LfsLog::truncate(FileId file, Bytes new_size)
 {
+    if (crashHook_ != nullptr) {
+        switch (crashHook_->onSite(nvram::CrashSiteKind::JournalAppend,
+                                   file, this)) {
+          case nvram::CrashAction::PowerFail:
+          case nvram::CrashAction::Dead:
+            return; // the truncate dies in volatile memory
+          default:
+            break;
+        }
+    }
     const auto first_dead = static_cast<std::uint32_t>(
         blocksCovering(new_size));
     // Pending blocks beyond the new size die before reaching disk.
@@ -306,11 +391,42 @@ LfsLog::truncate(FileId file, Bytes new_size)
 Checkpoint
 LfsLog::takeCheckpoint()
 {
+    if (crashHook_ != nullptr) {
+        switch (crashHook_->onSite(nvram::CrashSiteKind::Checkpoint,
+                                   0, this)) {
+          case nvram::CrashAction::PowerFail:
+          case nvram::CrashAction::Dead:
+            // The checkpoint was never written; the caller holds a
+            // snapshot covering nothing (roll-forward starts at
+            // segment zero).
+            return Checkpoint{};
+          default:
+            break;
+        }
+    }
     seal(SealCause::Checkpoint);
     Checkpoint cp;
     cp.nextSegment = static_cast<std::uint32_t>(segments_.size());
     cp.inodes = inodes_;
     return cp;
+}
+
+bool
+LfsLog::crashed() const
+{
+    return crashHook_ != nullptr && crashHook_->dead();
+}
+
+std::vector<std::pair<FileId, std::uint32_t>>
+LfsLog::pendingBlocks() const
+{
+    std::vector<std::pair<FileId, std::uint32_t>> out;
+    out.reserve(pending_.size());
+    for (const PendingBlock &pb : pending_) {
+        if (!pb.cleaner)
+            out.emplace_back(pb.file, pb.block);
+    }
+    return out;
 }
 
 std::uint32_t

@@ -25,6 +25,7 @@
 #include "util/interval_set.hpp"
 
 namespace nvfs::nvram {
+class CrashSiteHook;
 class FaultPlan;
 }
 
@@ -119,6 +120,15 @@ class LfsLog
     /** Bytes of file data waiting in the open segment. */
     Bytes pendingBytes() const { return pendingData_; }
 
+    /**
+     * (file, block) of every block waiting in the open segment, in
+     * append order, excluding cleaner copies (their data is still
+     * durable in the victim segments).  These are exactly the blocks
+     * a power failure would lose — the crash oracle checks the NVRAM
+     * write buffer covers them.
+     */
+    std::vector<std::pair<FileId, std::uint32_t>> pendingBlocks() const;
+
     /** Checkpoint the file system (seals pending data first). */
     Checkpoint takeCheckpoint();
 
@@ -179,6 +189,21 @@ class LfsLog
     bool faultFired() const { return faultFired_; }
 
     /**
+     * Attach a crash-site hook (nvfs::crash); nullptr detaches.  Not
+     * owned.  The hook is consulted at every durable transition —
+     * journal appends, seal begin, each inode-map update during a
+     * seal, seal commit, and checkpoints — and can crash the log
+     * there: PowerFail drops the op (and, at seal begin, the open
+     * segment's volatile contents); Torn completes the seal in memory
+     * but marks the segment torn; Dead makes the op a no-op (the host
+     * is already down).
+     */
+    void setCrashHook(nvram::CrashSiteHook *hook) { crashHook_ = hook; }
+
+    /** True when an attached crash hook has declared the host down. */
+    bool crashed() const;
+
+    /**
      * Full structural audit (nvfs::check): segment entry/byte
      * accounting, inode-map ↔ live-entry bijection, active-segment
      * bookkeeping, pending-set cross-consistency, and cumulative
@@ -193,12 +218,18 @@ class LfsLog
   private:
     /** Test-only peer that corrupts internals to prove audits fire. */
     friend class AuditTestPeer;
+    /** Test-only peer that corrupts durable state (journal records,
+     *  sealed segments) to prove the crash oracle catches it. */
+    friend class CrashTestPeer;
 
     struct PendingBlock
     {
         FileId file;
         std::uint32_t block;
         util::IntervalSet ranges; ///< dirty ranges within the block
+        /** Cleaner copy: the data is still durable in its victim
+         *  segment, so losing the open segment cannot lose it. */
+        bool cleaner = false;
 
         Bytes bytes() const { return ranges.totalBytes(); }
     };
@@ -230,6 +261,7 @@ class LfsLog
 
     nvram::FaultPlan *faults_ = nullptr;
     bool faultFired_ = false;
+    nvram::CrashSiteHook *crashHook_ = nullptr;
 };
 
 } // namespace nvfs::lfs

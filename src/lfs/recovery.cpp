@@ -2,11 +2,37 @@
 
 #include <map>
 
+#include "obs/obs.hpp"
+
 namespace nvfs::lfs {
 
-RecoveryResult
-rollForward(const LfsLog &log, const Checkpoint *checkpoint)
+namespace {
+
+/** Final location of each (file, block) within one segment. */
+std::map<std::pair<FileId, std::uint32_t>, std::uint32_t>
+finalSlots(const Segment &segment)
 {
+    std::map<std::pair<FileId, std::uint32_t>, std::uint32_t> slots;
+    for (std::uint32_t slot = 0; slot < segment.entries.size();
+         ++slot) {
+        const SegmentEntry &entry = segment.entries[slot];
+        if (entry.kind == EntryKind::Data)
+            slots[{entry.file, entry.blockIndex}] = slot;
+    }
+    return slots;
+}
+
+} // namespace
+
+RecoveryResult
+rollForward(const LfsLog &log, const Checkpoint *checkpoint,
+            const RecoveryOptions &options)
+{
+    static const obs::Counter quarantined(
+        "recovery.segments_quarantined");
+    static const obs::Counter lostBlocks("recovery.blocks_lost");
+    static const obs::Counter lostMetaOps("recovery.meta_ops_lost");
+
     RecoveryResult result;
     std::uint32_t first = 0;
     if (checkpoint) {
@@ -17,24 +43,43 @@ rollForward(const LfsLog &log, const Checkpoint *checkpoint)
     const auto &segments = log.segments();
     for (std::uint32_t id = first; id < segments.size(); ++id) {
         const Segment &segment = segments[id];
-        if (segment.torn) {
-            // The summary block — the only description of the
-            // segment's contents — never reached the disk, so neither
-            // this segment nor anything after it can be parsed.  The
-            // log ends here.
-            result.stoppedAtTornSegment = true;
-            break;
+        ++result.report.segmentsScanned;
+        if (segment.torn || segment.corrupt) {
+            if (!options.quarantine) {
+                // The summary block — the only description of the
+                // segment's contents — is unreadable, so neither this
+                // segment nor anything after it can be parsed.  The
+                // log ends here.
+                result.stoppedAtTornSegment = true;
+                break;
+            }
+            // Quarantine: account for what the damaged segment held,
+            // skip it, and resync at the next segment boundary.
+            ++result.report.segmentsQuarantined;
+            quarantined.add();
+            const auto slots = finalSlots(segment);
+            for (const JournalRecord &record : log.journalOf(id)) {
+                switch (record.kind) {
+                  case JournalRecord::Kind::Write:
+                    // Only records whose data survived to the seal
+                    // would have been replayed.
+                    if (slots.count({record.file, record.block}) != 0) {
+                        ++result.report.blocksLost;
+                        lostBlocks.add();
+                    }
+                    break;
+                  case JournalRecord::Kind::Delete:
+                  case JournalRecord::Kind::Truncate:
+                    ++result.report.metaOpsLost;
+                    lostMetaOps.add();
+                    break;
+                }
+            }
+            continue;
         }
         ++result.segmentsReplayed;
 
-        // Final location of each (file, block) within this segment.
-        std::map<std::pair<FileId, std::uint32_t>, std::uint32_t> slots;
-        for (std::uint32_t slot = 0; slot < segment.entries.size();
-             ++slot) {
-            const SegmentEntry &entry = segment.entries[slot];
-            if (entry.kind == EntryKind::Data)
-                slots[{entry.file, entry.blockIndex}] = slot;
-        }
+        const auto slots = finalSlots(segment);
 
         // Replay the journal chronologically.
         for (const JournalRecord &record : log.journalOf(id)) {

@@ -4,6 +4,20 @@
  * segment summaries from the last checkpoint, exactly the mechanism
  * that lets LFS (and the paper's NVRAM write buffer) guarantee
  * durability without synchronous metadata writes.
+ *
+ * Two recovery disciplines:
+ *
+ *  - strict (default): the first torn or corrupt segment ends the
+ *    usable log — everything from it on is abandoned.  Right when the
+ *    damage is a lost tail write (a crash mid-seal): nothing after
+ *    the tear exists on disk.
+ *  - quarantine: skip the damaged segment, resync at the next segment
+ *    boundary, and keep replaying.  Right when the damage is media
+ *    corruption in the middle of an otherwise-intact log: later
+ *    segments are real and recoverable.  Blocks whose latest copy
+ *    lived in a quarantined segment resolve to an older copy (or
+ *    nothing), and its delete/truncate records are lost — classic
+ *    torn-write semantics, reported instead of silently absorbed.
  */
 
 #pragma once
@@ -11,6 +25,29 @@
 #include "lfs/log.hpp"
 
 namespace nvfs::lfs {
+
+/** How roll-forward treats damaged (torn/corrupt) segments. */
+struct RecoveryOptions
+{
+    /** Skip damaged segments and keep replaying instead of stopping
+     *  the roll-forward at the first one. */
+    bool quarantine = false;
+};
+
+/** Damage accounting for one roll-forward pass. */
+struct RecoveryReport
+{
+    std::uint32_t segmentsScanned = 0;     ///< examined at all
+    std::uint32_t segmentsQuarantined = 0; ///< damaged and skipped
+    /** Journal write records whose data was in a damaged segment (the
+     *  host believed them durable; recovery cannot produce them). */
+    std::uint64_t blocksLost = 0;
+    /** Delete/truncate records lost with a damaged segment's journal;
+     *  dead files can resurrect. */
+    std::uint64_t metaOpsLost = 0;
+
+    bool operator==(const RecoveryReport &other) const = default;
+};
 
 /** What recovery found. */
 struct RecoveryResult
@@ -21,8 +58,12 @@ struct RecoveryResult
     std::uint64_t metaOpsReplayed = 0;
     /** Roll-forward hit a torn segment (its summary never reached the
      *  disk) and stopped there: that segment and everything the host
-     *  believed it wrote afterwards are lost. */
+     *  believed it wrote afterwards are lost.  Never set in
+     *  quarantine mode (damaged segments are skipped, not fatal). */
     bool stoppedAtTornSegment = false;
+    RecoveryReport report;
+
+    bool operator==(const RecoveryResult &other) const = default;
 };
 
 /**
@@ -33,8 +74,13 @@ struct RecoveryResult
  * the open segment, i.e. lost volatile state) is *not* recovered,
  * which is exactly the paper's reliability argument for putting the
  * write buffer in NVRAM.
+ *
+ * Pure function of the log's sealed state: repeated calls on the same
+ * post-crash log return identical results (the recovery-idempotence
+ * guarantee the crash explorer checks).
  */
 RecoveryResult rollForward(const LfsLog &log,
-                           const Checkpoint *checkpoint = nullptr);
+                           const Checkpoint *checkpoint = nullptr,
+                           const RecoveryOptions &options = {});
 
 } // namespace nvfs::lfs

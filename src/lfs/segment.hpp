@@ -70,6 +70,11 @@ struct Segment
      *  block hit the disk.  The summary is what makes the segment
      *  parseable, so recovery treats the log as ending here. */
     bool torn = false;
+    /** Fault injection: the summary block is present but fails its
+     *  checksum (media corruption rather than a lost write).  Strict
+     *  recovery stops here like a torn segment; quarantining recovery
+     *  skips the segment and resyncs at the next segment boundary. */
+    bool corrupt = false;
 
     /** Total on-disk footprint. */
     Bytes

@@ -1,0 +1,35 @@
+#include "nvram/crash_site.hpp"
+
+namespace nvfs::nvram {
+
+std::string
+crashSiteKindName(CrashSiteKind kind)
+{
+    switch (kind) {
+      case CrashSiteKind::SealBegin: return "seal-begin";
+      case CrashSiteKind::InodeUpdate: return "inode-update";
+      case CrashSiteKind::SealCommit: return "seal-commit";
+      case CrashSiteKind::JournalAppend: return "journal-append";
+      case CrashSiteKind::Checkpoint: return "checkpoint";
+      case CrashSiteKind::DevicePut: return "device-put";
+      case CrashSiteKind::Count_: break;
+    }
+    return "unknown";
+}
+
+CrashAction
+crashModeOf(CrashSiteKind kind)
+{
+    switch (kind) {
+      case CrashSiteKind::SealBegin: return CrashAction::PowerFail;
+      case CrashSiteKind::InodeUpdate: return CrashAction::Torn;
+      case CrashSiteKind::SealCommit: return CrashAction::Torn;
+      case CrashSiteKind::JournalAppend: return CrashAction::PowerFail;
+      case CrashSiteKind::Checkpoint: return CrashAction::PowerFail;
+      case CrashSiteKind::DevicePut: return CrashAction::Drop;
+      case CrashSiteKind::Count_: break;
+    }
+    return CrashAction::None;
+}
+
+} // namespace nvfs::nvram

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Crash-site instrumentation seam (consumed by nvfs::crash).
+ *
+ * Every transition that is supposed to make data durable — a segment
+ * write beginning, its summary block landing, a recovery-journal
+ * record being queued, an inode-map update inside a seal, a
+ * checkpoint, an NVRAM device put — is a *crash site*: a point where
+ * power can fail with well-defined loss semantics.  The instrumented
+ * components (NvramDevice, LfsLog) consult an attached CrashSiteHook
+ * at each site and obey the returned action, which lets the
+ * crash-schedule explorer first *count* every site in a workload and
+ * then replay the workload crashing at any chosen one.
+ *
+ * The interface lives in nvfs::nvram (the lowest layer both
+ * instrumented components already depend on) so that neither lfs nor
+ * nvram needs to know about the explorer that drives it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nvfs::nvram {
+
+/** Where in the durability pipeline a crash site sits. */
+enum class CrashSiteKind : std::uint8_t {
+    SealBegin,     ///< a segment write is about to be issued
+    InodeUpdate,   ///< one inode-map update inside a seal
+    SealCommit,    ///< the segment's summary block is being written
+    JournalAppend, ///< a recovery-journal record is being queued
+    Checkpoint,    ///< a checkpoint snapshot is being taken
+    DevicePut,     ///< an NvramDevice::put() is in flight
+    Count_,
+};
+
+/** Printable site-kind name. */
+std::string crashSiteKindName(CrashSiteKind kind);
+
+/** What the hook tells the instrumented component to do at a site. */
+enum class CrashAction : std::uint8_t {
+    None,      ///< proceed normally
+    PowerFail, ///< power dies now: nothing durable happens, volatile
+               ///< open-segment state is lost
+    Torn,      ///< the in-flight segment write loses its summary block
+    Drop,      ///< the in-flight device put never commits
+    Dead,      ///< the machine already crashed: ignore the operation
+};
+
+/**
+ * The failure mode a crash site naturally maps to: power failing at
+ * that exact instant produces this loss semantics.
+ */
+CrashAction crashModeOf(CrashSiteKind kind);
+
+/**
+ * Observer/controller of crash sites.  Attached (not owned) to an
+ * NvramDevice or LfsLog; consulted once per site as it is reached.
+ *
+ * @param kind   which durable transition is happening
+ * @param detail site-specific identity (DevicePut: the tag;
+ *               SealCommit: the segment id; JournalAppend /
+ *               InodeUpdate: the file id; others: 0)
+ * @param origin the instrumented component reaching the site (`this`
+ *               of the LfsLog or NvramDevice) — a server attaches one
+ *               hook to several logs/devices and the hook tells them
+ *               apart by this pointer
+ * @return the action to take; Dead once a crash has fired means the
+ *         component must treat the operation as never issued
+ */
+class CrashSiteHook
+{
+  public:
+    virtual ~CrashSiteHook() = default;
+
+    virtual CrashAction onSite(CrashSiteKind kind, std::uint64_t detail,
+                               const void *origin) = 0;
+
+    /**
+     * True once a crash has fired: the host is down and every durable
+     * op from now on is a no-op.  Components with multi-step
+     * operations (the cleaner's copy-flush-reclaim pass, the server's
+     * NVRAM reconcile) check this to avoid completing a transaction
+     * the dead host never could.
+     */
+    virtual bool dead() const { return false; }
+};
+
+} // namespace nvfs::nvram

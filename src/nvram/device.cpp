@@ -1,5 +1,8 @@
 #include "nvram/device.hpp"
 
+#include <algorithm>
+
+#include "nvram/crash_site.hpp"
 #include "nvram/fault.hpp"
 #include "util/log.hpp"
 
@@ -14,6 +17,22 @@ NvramDevice::NvramDevice(const DeviceParams &params)
 bool
 NvramDevice::put(std::uint64_t tag, Bytes bytes)
 {
+    if (crashHook_ != nullptr) {
+        switch (crashHook_->onSite(CrashSiteKind::DevicePut, tag,
+                                   this)) {
+          case CrashAction::Drop:
+            // Power failed mid-write: the access was issued (count
+            // it) but the cell never committed; the old value for the
+            // tag survives.
+            ++writes_;
+            return false;
+          case CrashAction::Dead:
+            // The host is already down — the put is never issued.
+            return false;
+          default:
+            break;
+        }
+    }
     if (faults_ != nullptr && faults_->onDeviceWrite()) {
         // Torn device write: the access was issued (count it) but the
         // cell never committed; the old value for the tag survives.
@@ -38,6 +57,17 @@ NvramDevice::get(std::uint64_t tag)
     if (it == contents_.end())
         return std::nullopt;
     return it->second;
+}
+
+std::vector<std::uint64_t>
+NvramDevice::tags() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(contents_.size());
+    for (const auto &[tag, bytes] : contents_)
+        out.push_back(tag);
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 Bytes

@@ -14,11 +14,13 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "util/types.hpp"
 
 namespace nvfs::nvram {
 
+class CrashSiteHook;
 class FaultPlan;
 
 /** Static properties of an NVRAM part. */
@@ -74,6 +76,15 @@ class NvramDevice
     /** Remove a tag; returns the bytes freed. */
     Bytes erase(std::uint64_t tag);
 
+    /** True if the tag currently holds data (no access counted). */
+    bool holds(std::uint64_t tag) const
+    {
+        return contents_.count(tag) != 0;
+    }
+
+    /** Every stored tag, ascending (recovery walks the contents). */
+    std::vector<std::uint64_t> tags() const;
+
     /** Drop everything. */
     void clear();
 
@@ -102,6 +113,14 @@ class NvramDevice
      */
     void setFaultPlan(FaultPlan *plan) { faults_ = plan; }
 
+    /**
+     * Attach a crash-site hook (nvfs::crash); nullptr detaches.  Not
+     * owned.  Every put() is a DevicePut crash site: the hook can
+     * count it, drop it (power fails mid-write; previous contents
+     * survive), or declare the host dead (the put never happens).
+     */
+    void setCrashHook(CrashSiteHook *hook) { crashHook_ = hook; }
+
   private:
     DeviceParams params_;
     std::unordered_map<std::uint64_t, Bytes> contents_;
@@ -112,6 +131,7 @@ class NvramDevice
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
     FaultPlan *faults_ = nullptr;
+    CrashSiteHook *crashHook_ = nullptr;
 };
 
 } // namespace nvfs::nvram

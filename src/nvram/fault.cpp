@@ -6,10 +6,16 @@
 
 namespace nvfs::nvram {
 
-std::optional<FaultPlan>
-FaultPlan::fromSpec(const std::string &spec)
+namespace {
+
+/**
+ * Shared parser: fills `plan`, or returns a description naming the
+ * offending token.  fromSpec() and fromEnv() differ only in what they
+ * do with the description.
+ */
+std::optional<std::string>
+parseSpec(const std::string &spec, FaultPlan &plan)
 {
-    FaultPlan plan;
     std::size_t pos = 0;
     while (pos < spec.size()) {
         std::size_t comma = spec.find(',', pos);
@@ -21,17 +27,15 @@ FaultPlan::fromSpec(const std::string &spec)
             continue;
         const std::size_t colon = item.find(':');
         if (colon == std::string::npos) {
-            util::warn(util::format(
-                "fault spec item '%s' has no ':<n>'", item.c_str()));
-            return std::nullopt;
+            return util::format("fault spec item '%s' has no ':<n>'",
+                                item.c_str());
         }
         const std::string kind = item.substr(0, colon);
         const auto nth = util::tryParseInt(item.substr(colon + 1));
         if (!nth || *nth <= 0) {
-            util::warn(util::format(
+            return util::format(
                 "fault spec item '%s' needs a positive event index",
-                item.c_str()));
-            return std::nullopt;
+                item.c_str());
         }
         const auto at = static_cast<std::uint64_t>(*nth);
         if (kind == "torn-seal") {
@@ -41,12 +45,24 @@ FaultPlan::fromSpec(const std::string &spec)
         } else if (kind == "device-drop") {
             plan.dropDeviceWriteAt(at);
         } else {
-            util::warn(util::format(
-                "unknown fault kind '%s' (want torn-seal, "
-                "power-fail, or device-drop)",
-                kind.c_str()));
-            return std::nullopt;
+            return util::format("unknown fault kind '%s' (want "
+                                "torn-seal, power-fail, or "
+                                "device-drop)",
+                                kind.c_str());
         }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<FaultPlan>
+FaultPlan::fromSpec(const std::string &spec)
+{
+    FaultPlan plan;
+    if (const auto error = parseSpec(spec, plan)) {
+        util::warn(*error);
+        return std::nullopt;
     }
     return plan;
 }
@@ -57,7 +73,14 @@ FaultPlan::fromEnv()
     const char *spec = util::envRaw("NVFS_FAULTS");
     if (spec == nullptr || *spec == '\0')
         return std::nullopt;
-    return fromSpec(spec);
+    FaultPlan plan;
+    if (const auto error = parseSpec(spec, plan)) {
+        // A malformed spec must not silently disable fault injection:
+        // the user armed faults and would otherwise believe the run
+        // was tested under them.  Hard error, naming the token.
+        util::fatal("NVFS_FAULTS: " + *error);
+    }
+    return plan;
 }
 
 SealFault

@@ -74,7 +74,12 @@ class FaultPlan
      */
     static std::optional<FaultPlan> fromSpec(const std::string &spec);
 
-    /** fromSpec(NVFS_FAULTS); nullopt when unset or malformed. */
+    /**
+     * Parse NVFS_FAULTS; nullopt when unset or empty.  A malformed
+     * spec is a hard error (util::fatal) naming the offending token —
+     * silently disabling armed fault injection would let a run claim
+     * crash coverage it never had.
+     */
     static std::optional<FaultPlan> fromEnv();
 
     /**

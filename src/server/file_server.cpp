@@ -1,12 +1,25 @@
 #include "server/file_server.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
+#include "nvram/crash_site.hpp"
 #include "util/log.hpp"
 
 namespace nvfs::server {
 
 using workload::ServerOp;
+
+namespace {
+
+/** NVRAM ledger tag for one file block. */
+std::uint64_t
+blockTag(FileId file, std::uint32_t block)
+{
+    return (static_cast<std::uint64_t>(file) << 32) | block;
+}
+
+} // namespace
 
 FileServer::FileServer(std::vector<std::string> fs_names,
                        const ServerConfig &config)
@@ -24,8 +37,40 @@ FileServer::FileServer(std::vector<std::string> fs_names,
         fs->stats.name = std::move(name);
         if (faults_)
             fs->log.setFaultPlan(faults_.get());
+        if (config_.nvramBufferBytes > 0) {
+            // The ledger never enforces capacity — the overflow seal
+            // in run() does that against nvramBufferBytes — so give
+            // the device room for any transient staging excess.
+            nvram::DeviceParams params;
+            params.capacity = static_cast<Bytes>(1) << 40;
+            fs->nvram = std::make_unique<nvram::NvramDevice>(params);
+        }
         state_.push_back(std::move(fs));
     }
+}
+
+nvram::NvramDevice *
+FileServer::nvramDevice(FsId fs)
+{
+    NVFS_REQUIRE(fs < state_.size(), "bad fs id");
+    return state_[fs]->nvram.get();
+}
+
+void
+FileServer::setCrashHook(nvram::CrashSiteHook *hook)
+{
+    crashHook_ = hook;
+    for (auto &fs : state_) {
+        fs->log.setCrashHook(hook);
+        if (fs->nvram)
+            fs->nvram->setCrashHook(hook);
+    }
+}
+
+bool
+FileServer::crashed() const
+{
+    return crashHook_ != nullptr && crashHook_->dead();
 }
 
 const FsStats &
@@ -75,12 +120,37 @@ FileServer::stageBlock(FsState &fs, const cache::BlockId &id, TimeUs now)
     const cache::CacheBlock block = fs.dirty.remove(id);
     if (!block.isDirty())
         return;
+    // Buffered mode: the block enters the NVRAM write buffer first —
+    // it is durable from here on even though the segment holding it
+    // has not been written (the paper's central reliability claim).
+    if (fs.nvram && !crashed())
+        fs.nvram->put(blockTag(id.file, id.index),
+                      block.dirty.totalBytes());
+    const std::size_t sealed_before = fs.log.segments().size();
     for (const auto &run : block.dirty.runs())
         fs.log.writeBlockRange(id.file, id.index, run.begin, run.end);
+    if (fs.log.segments().size() != sealed_before)
+        reconcileNvram(fs); // a Full segment auto-sealed mid-append
     if (fs.pendingSince == kNoTime && fs.log.pendingBytes() > 0)
         fs.pendingSince = now;
     if (fs.log.pendingBytes() == 0)
         fs.pendingSince = kNoTime; // auto-sealed Full
+}
+
+void
+FileServer::reconcileNvram(FsState &fs)
+{
+    // On a dead host nothing drains: the ledger must keep exactly
+    // what was staged at the instant of the crash.
+    if (!fs.nvram || crashed())
+        return;
+    std::unordered_set<std::uint64_t> pending;
+    for (const auto &[file, block] : fs.log.pendingBlocks())
+        pending.insert(blockTag(file, block));
+    for (const std::uint64_t tag : fs.nvram->tags()) {
+        if (pending.count(tag) == 0)
+            fs.nvram->erase(tag); // its segment sealed to disk
+    }
 }
 
 void
@@ -98,8 +168,10 @@ FileServer::sweep(FsState &fs, TimeUs now)
     // NVRAM buffer until a whole segment accumulated" — it rides out
     // with the next natural flush or with an auto-sealed full segment.
     if (flushed) {
-        if (fs.log.seal(lfs::SealCause::Timeout))
+        if (fs.log.seal(lfs::SealCause::Timeout)) {
             fs.pendingSince = kNoTime;
+            reconcileNvram(fs);
+        }
     }
     // On a bounded disk the garbage collector reclaims dead segments
     // when free space runs low.
@@ -119,10 +191,19 @@ FileServer::advanceClock(TimeUs now)
 void
 FileServer::run(const std::vector<ServerOp> &ops)
 {
+    run(ops, {});
+}
+
+void
+FileServer::run(const std::vector<ServerOp> &ops,
+                const std::function<bool()> &stop)
+{
     const bool buffered = config_.nvramBufferBytes > 0;
     TimeUs last = 0;
 
     for (const ServerOp &op : ops) {
+        if ((stop && stop()) || crashed())
+            break; // the host went down mid-stream
         NVFS_REQUIRE(op.time >= last, "server ops out of order");
         last = op.time;
         advanceClock(op.time);
@@ -167,8 +248,10 @@ FileServer::run(const std::vector<ServerOp> &ops)
             const Bytes occupancy = fs.log.pendingBytes();
             if (occupancy > config_.nvramBufferBytes) {
                 ++fs.stats.bufferOverflows;
-                if (fs.log.seal(lfs::SealCause::Fsync))
+                if (fs.log.seal(lfs::SealCause::Fsync)) {
                     fs.pendingSince = kNoTime;
+                    reconcileNvram(fs);
+                }
             } else {
                 ++fs.stats.fsyncsAbsorbed;
             }
@@ -177,11 +260,20 @@ FileServer::run(const std::vector<ServerOp> &ops)
         }
     }
 
+    if ((stop && stop()) || crashed()) {
+        // The machine is down: no drain, the durable state stays
+        // exactly as the crash left it for recovery to examine.
+        for (auto &fs : state_)
+            fs->stats.log = fs->log.stats();
+        return;
+    }
+
     // Drain: flush everything left so totals are comparable.
     for (auto &fs : state_) {
         for (const cache::BlockId &id : fs->dirty.allDirtyBlocks())
             stageBlock(*fs, id, last);
-        fs->log.seal(lfs::SealCause::Shutdown);
+        if (fs->log.seal(lfs::SealCause::Shutdown))
+            reconcileNvram(*fs);
         fs->cleaner.maybeClean(fs->log);
         fs->stats.log = fs->log.stats();
     }

@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "cache/block_cache.hpp"
 #include "lfs/cleaner.hpp"
 #include "lfs/log.hpp"
+#include "nvram/device.hpp"
 #include "nvram/fault.hpp"
 #include "workload/server_workload.hpp"
 
@@ -64,6 +66,15 @@ class FileServer
     /** Replay a time-sorted op stream to completion. */
     void run(const std::vector<workload::ServerOp> &ops);
 
+    /**
+     * Replay until `stop` returns true (checked before each op) or a
+     * crash hook declares the host down.  A stopped/crashed run does
+     * NOT drain: the durable state stays exactly as the crash left it
+     * so recovery can be checked against it.
+     */
+    void run(const std::vector<workload::ServerOp> &ops,
+             const std::function<bool()> &stop);
+
     /** Results after run(). */
     const FsStats &stats(FsId fs) const;
     std::size_t fsCount() const { return state_.size(); }
@@ -76,6 +87,21 @@ class FileServer
 
     /** Direct log access (tests, the Figure 7 example). */
     lfs::LfsLog &log(FsId fs);
+
+    /**
+     * The file system's NVRAM write buffer, or nullptr when the
+     * server runs unbuffered.  In buffered mode every staged block is
+     * put under tag (file << 32 | block) before it enters the open
+     * segment and erased once its segment seals — the device is the
+     * durable ledger the crash oracle checks pending data against.
+     */
+    nvram::NvramDevice *nvramDevice(FsId fs);
+
+    /**
+     * Attach a crash-site hook (nvfs::crash) to every log and NVRAM
+     * device; nullptr detaches.  Not owned.
+     */
+    void setCrashHook(nvram::CrashSiteHook *hook);
 
     /**
      * Structural audit (nvfs::check): every file system's log and
@@ -93,6 +119,8 @@ class FileServer
         cache::BlockCache dirty{0};
         /** When the open NVRAM segment started accumulating. */
         TimeUs pendingSince = kNoTime;
+        /** Write-buffer ledger (buffered mode only). */
+        std::unique_ptr<nvram::NvramDevice> nvram;
 
         explicit FsState(const lfs::LfsConfig &config) : log(config) {}
     };
@@ -106,11 +134,19 @@ class FileServer
     /** Move one dirty block into the log's open segment. */
     void stageBlock(FsState &fs, const cache::BlockId &id, TimeUs now);
 
+    /** Drain staged NVRAM tags whose blocks are no longer pending
+     *  (their segment sealed).  No-op on a dead host. */
+    void reconcileNvram(FsState &fs);
+
+    /** True when the attached crash hook has declared the host down. */
+    bool crashed() const;
+
     ServerConfig config_;
     std::vector<std::unique_ptr<FsState>> state_;
     /** NVFS_FAULTS plan shared by every log; heap-owned so the
      *  pointers the logs hold survive a FileServer move. */
     std::unique_ptr<nvram::FaultPlan> faults_;
+    nvram::CrashSiteHook *crashHook_ = nullptr;
     TimeUs lastSweep_ = 0;
 };
 

@@ -16,6 +16,10 @@
  *                     [--policy lru]
  *   nvfs_sim check    [--runs 20] [--ops 2000] [--seed 1]
  *                     [--audit 64] [--max-seconds T] [--no-shrink]
+ *   nvfs_sim crashsweep --trace 3,4,7 [--scale S]
+ *                     [--models volatile,write-aside,unified]
+ *                     [--buffers 0,512K] [--seed 42] [--sample N]
+ *                     [--no-shrink]
  *
  * Sizes accept K/M/G suffixes; durations accept s/min/h.  Sweeps run
  * --jobs experiments in parallel (default NVFS_JOBS, else all cores).
@@ -30,6 +34,7 @@
 
 #include "check/fuzz.hpp"
 #include "core/sim/experiments.hpp"
+#include "crash/explore.hpp"
 #include "core/sim/sweep.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
@@ -534,6 +539,116 @@ cmdSweep(const Args &args)
     return 0;
 }
 
+/**
+ * Crash-schedule exploration across the full grid: every requested
+ * trace, client model (whose server-bound traffic differs), and
+ * server engine (unbuffered vs NVRAM-buffered).  Each cell censuses
+ * the workload's persistence sites, then crashes at every selected
+ * site (NVFS_CRASH_SITES / NVFS_CRASH_SAMPLE narrow the selection)
+ * and oracle-checks the recovery.
+ */
+int
+cmdCrashsweep(const Args &args)
+{
+    const auto model_names =
+        splitList(args.get("models", "volatile,write-aside,unified"));
+    const auto buffer_names = splitList(args.get("buffers", "0,512K"));
+    const double scale = args.getDouble("scale", 0.05);
+    const auto seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 42));
+    const auto point_list = args.has("in")
+                                ? splitList(args.get("in"))
+                                : splitList(args.get("trace", "3,4,7"));
+
+    util::TextTable table({"trace", "model", "buffer", "sites",
+                           "crashes", "violations", "quarantined",
+                           "blocks lost"});
+    crash::SiteCounts census{};
+    std::uint64_t violations = 0;
+    for (const std::string &point : point_list) {
+        const trace::TraceBuffer buffer = [&] {
+            if (args.has("in")) {
+                return args.has("text") ? trace::readTraceText(point)
+                                        : trace::readTraceFile(point);
+            }
+            const auto number = util::tryParseInt(point);
+            if (!number.has_value())
+                util::fatal("--trace expects integers, got '" + point +
+                            "'");
+            return workload::generateStandardTrace(
+                static_cast<int>(*number), scale, args.has("compat"));
+        }();
+        const auto ops = prep::convertTrace(buffer);
+        for (const std::string &name : model_names) {
+            core::ModelConfig model;
+            model.kind = parseModelKind(name);
+            const auto server_ops =
+                core::collectServerOps(ops, model, seed);
+            for (const std::string &size_text : buffer_names) {
+                crash::ExploreConfig config;
+                config.server.nvramBufferBytes =
+                    util::parseBytes(size_text);
+                config.seed = seed;
+                config.sampleSites = static_cast<std::uint64_t>(
+                    args.getInt("sample", 0));
+                config.shrinkOnFailure = !args.has("no-shrink");
+                const crash::ExploreResult result =
+                    crash::explore(server_ops, config);
+                for (std::size_t k = 0; k < crash::kSiteKinds; ++k)
+                    census[k] += result.sitesByKind[k];
+                violations += result.violations.size();
+                table.addRow(
+                    {point, name, size_text,
+                     util::format("%llu",
+                                  static_cast<unsigned long long>(
+                                      result.sitesTotal)),
+                     util::format("%llu",
+                                  static_cast<unsigned long long>(
+                                      result.crashesExplored)),
+                     util::format("%zu", result.violations.size()),
+                     util::format("%llu",
+                                  static_cast<unsigned long long>(
+                                      result.segmentsQuarantined)),
+                     util::format("%llu",
+                                  static_cast<unsigned long long>(
+                                      result.blocksLost))});
+                for (const crash::Violation &violation :
+                     result.violations) {
+                    std::fprintf(
+                        stderr,
+                        "VIOLATION trace %s model %s buffer %s site "
+                        "%llu (%s): %s (repro: %zu ops)\n",
+                        point.c_str(), name.c_str(),
+                        size_text.c_str(),
+                        static_cast<unsigned long long>(
+                            violation.site),
+                        nvram::crashSiteKindName(violation.kind)
+                            .c_str(),
+                        violation.what.c_str(),
+                        violation.repro.size());
+                }
+            }
+        }
+    }
+    std::printf("%s\n", table.render("crash-schedule sweep").c_str());
+
+    util::TextTable kinds({"site kind", "sites"});
+    for (std::size_t k = 0; k < crash::kSiteKinds; ++k) {
+        kinds.addRow(
+            {nvram::crashSiteKindName(
+                 static_cast<nvram::CrashSiteKind>(k)),
+             util::format("%llu",
+                          static_cast<unsigned long long>(census[k]))});
+    }
+    std::printf("%s\n", kinds.render("site census").c_str());
+    if (violations > 0) {
+        std::fprintf(stderr, "crashsweep: %llu oracle violation(s)\n",
+                     static_cast<unsigned long long>(violations));
+        return 1;
+    }
+    return 0;
+}
+
 int
 cmdCheck(const Args &args)
 {
@@ -594,6 +709,16 @@ usage()
         "[--clients 4]\n"
         "           [--files 48] [--audit 64] [--max-seconds T]\n"
         "           [--no-shrink]   differential fuzz with audits\n"
+        "  crashsweep --trace N[,N...] | --in FILE[,FILE...]\n"
+        "           [--scale 0.05] [--models "
+        "volatile,write-aside,unified]\n"
+        "           [--buffers 0,512K] [--seed 42] [--sample N]\n"
+        "           [--no-shrink]\n"
+        "           crash at every persistence site and verify "
+        "recovery\n"
+        "           (NVFS_CRASH_SITES=3,17 or NVFS_CRASH_SAMPLE=64\n"
+        "           narrow the site selection; --sample N draws a\n"
+        "           seeded sample of N sites)\n"
         "\n"
         "Every command also accepts --stats (print the observability\n"
         "counter/timer table after the run).  NVFS_STATS_OUT=FILE\n"
@@ -622,6 +747,8 @@ dispatch(const std::string &command, const Args &args)
         return cmdSweep(args);
     if (command == "check")
         return cmdCheck(args);
+    if (command == "crashsweep")
+        return cmdCrashsweep(args);
     usage();
     return 1;
 }
